@@ -1,0 +1,54 @@
+// Ablation: channel fading parameters.  Sweeps the fade standard
+// deviation and decorrelation time of the Gauss-Markov temporal model
+// and reports the reference configurations' PDR, showing how the
+// star/mesh reliability gap depends on the channel dynamics the paper's
+// measured dataset embodies.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "net/network.hpp"
+
+int main() {
+  using namespace hi;
+  const dse::EvaluatorSettings base = bench::experiment_settings();
+  bench::banner("Ablation: fade sigma / tau vs reliability", base);
+
+  model::Scenario scenario;
+  const auto t4 = model::Topology::from_locations({0, 1, 3, 5});
+  const auto star = scenario.make_config(t4, 2, model::MacProtocol::kTdma,
+                                         model::RoutingProtocol::kStar);
+  const auto mesh = scenario.make_config(t4, 2, model::MacProtocol::kTdma,
+                                         model::RoutingProtocol::kMesh);
+
+  TextTable table;
+  table.set_header({"sigma scale", "tau (s)", "PDR star/0dBm",
+                    "PDR mesh/0dBm", "mesh advantage"});
+  for (double sigma_scale : {0.5, 0.75, 1.0, 1.25, 1.5}) {
+    for (double tau : {0.25, 1.0, 4.0}) {
+      channel::BodyChannelParams cp;
+      cp.sigma_base_db *= sigma_scale;
+      cp.sigma_per_m_db *= sigma_scale;
+      cp.sigma_max_db *= sigma_scale;
+      cp.tau_s = tau;
+      net::ChannelFactory factory = [cp](std::uint64_t seed) {
+        return channel::make_default_body_channel(seed, cp);
+      };
+      net::SimParams sp = base.sim;
+      const net::SimResult rs =
+          net::simulate_averaged(star, sp, base.runs, factory);
+      const net::SimResult rm =
+          net::simulate_averaged(mesh, sp, base.runs, factory);
+      table.add_row({fmt_double(sigma_scale, 2), fmt_double(tau, 2),
+                     fmt_percent(rs.pdr, 1), fmt_percent(rm.pdr, 1),
+                     fmt_double((rm.pdr - rs.pdr) * 100.0, 1) + " pp"});
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nexpected shape: stronger fading widens the mesh-over-star "
+               "advantage (path diversity beats deep fades); with mild "
+               "fading both approach 100% and the star's lifetime "
+               "advantage dominates the design choice\n";
+  return 0;
+}

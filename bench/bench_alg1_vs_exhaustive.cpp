@@ -1,0 +1,91 @@
+// Reproduces the paper's Sec. 4.2 efficiency claim: Algorithm 1 needs
+// ~87% fewer simulations than exhaustive search while returning the same
+// (simulation-accurate) optimum.
+//
+// One shared evaluation cache backs both explorers; the counters measure
+// how many *distinct* design points each explorer requested, i.e. the
+// simulations it would have paid for standalone.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "dse/algorithm1.hpp"
+#include "dse/exhaustive.hpp"
+
+int main() {
+  using namespace hi;
+  const dse::EvaluatorSettings settings = bench::experiment_settings();
+  bench::banner("Sec. 4.2: Algorithm 1 vs exhaustive search (simulation "
+                "count)",
+                settings);
+
+  model::Scenario scenario;
+  dse::Evaluator eval(settings);
+
+  // The exhaustive baseline simulates the whole feasible space once; its
+  // per-PDRmin optimum is a post-processing step over that history.
+  const dse::ExplorationResult exh_all =
+      dse::run_exhaustive(scenario, eval, /*pdr_min=*/0.0);
+  const std::uint64_t exhaustive_sims = exh_all.simulations;
+
+  TextTable table;
+  table.set_header({"PDRmin", "sound: match", "sound: sims",
+                    "sound: reduction", "paper-alpha: match",
+                    "paper-alpha: sims", "paper-alpha: reduction"});
+  RunningStats red_sound, red_paper;
+  for (double pdr_min : {0.50, 0.60, 0.70, 0.80, 0.90, 0.95, 0.99}) {
+    // Exhaustive optimum at this bound, from the full sweep.
+    bool exh_feasible = false;
+    double exh_power = 0.0;
+    for (const auto& rec : exh_all.history) {
+      if (rec.sim_pdr >= pdr_min &&
+          (!exh_feasible || rec.sim_power_mw < exh_power)) {
+        exh_feasible = true;
+        exh_power = rec.sim_power_mw;
+      }
+    }
+
+    const auto run_mode = [&](dse::TerminationBound bound) {
+      eval.reset_counters();
+      dse::Algorithm1Options opt;
+      opt.pdr_min = pdr_min;
+      opt.bound = bound;
+      return dse::run_algorithm1(scenario, eval, opt);
+    };
+    const dse::ExplorationResult sound =
+        run_mode(dse::TerminationBound::kSoundFloor);
+    const dse::ExplorationResult paper =
+        run_mode(dse::TerminationBound::kPaperAlpha);
+
+    const auto match = [&](const dse::ExplorationResult& r) {
+      return r.feasible == exh_feasible &&
+             (!r.feasible || r.best_power_mw == exh_power);
+    };
+    const auto reduction = [&](const dse::ExplorationResult& r) {
+      return 1.0 - static_cast<double>(r.simulations) /
+                       static_cast<double>(exhaustive_sims);
+    };
+    red_sound.add(reduction(sound));
+    red_paper.add(reduction(paper));
+    table.add_row({fmt_percent(pdr_min, 0), match(sound) ? "yes" : "NO",
+                   std::to_string(sound.simulations),
+                   fmt_percent(reduction(sound), 1),
+                   match(paper) ? "yes" : "NO",
+                   std::to_string(paper.simulations),
+                   fmt_percent(reduction(paper), 1)});
+  }
+  table.print(std::cout);
+  std::cout << "\nfeasible design space: " << exhaustive_sims
+            << " configurations\n"
+            << "average reduction — sound floor: "
+            << fmt_percent(red_sound.mean(), 1)
+            << ", paper-literal alpha: " << fmt_percent(red_paper.mean(), 1)
+            << "  (paper reports 87%)\n"
+            << "the sound floor is guaranteed to match exhaustive search; "
+               "the paper-literal alpha reproduces the 87% saving but can "
+               "miss a cheap lossy configuration hiding on a pruned level "
+               "(see DESIGN.md)\n";
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Microbenchmarks of the discrete-event simulator (google-benchmark):
+// kernel event throughput and end-to-end WBAN simulation speed per
+// configuration class.  These numbers bound how large a Tsim / design
+// space the explorer can afford.
+#include <benchmark/benchmark.h>
+
+#include "channel/channel.hpp"
+#include "des/kernel.hpp"
+#include "model/design_space.hpp"
+#include "net/network.hpp"
+
+namespace {
+
+using namespace hi;
+
+void BM_KernelScheduleRun(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    des::Kernel k;
+    int fired = 0;
+    for (int i = 0; i < n; ++i) {
+      k.schedule_at(static_cast<double>((i * 48271) % n),
+                    [&fired] { ++fired; });
+    }
+    k.run_to_completion();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_KernelScheduleRun)->Arg(1'000)->Arg(100'000);
+
+void BM_KernelSelfRescheduling(benchmark::State& state) {
+  for (auto _ : state) {
+    des::Kernel k;
+    int count = 0;
+    std::function<void()> tick = [&] {
+      if (++count < 10'000) k.schedule_in(0.001, tick);
+    };
+    k.schedule_in(0.001, tick);
+    k.run_to_completion();
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(state.iterations() * 10'000);
+}
+BENCHMARK(BM_KernelSelfRescheduling);
+
+void BM_Simulate(benchmark::State& state) {
+  const bool mesh = state.range(0) != 0;
+  const bool tdma = state.range(1) != 0;
+  const model::Scenario scenario;
+  const auto cfg = scenario.make_config(
+      model::Topology::from_locations({0, 1, 3, 5, 7}), 2,
+      tdma ? model::MacProtocol::kTdma : model::MacProtocol::kCsma,
+      mesh ? model::RoutingProtocol::kMesh : model::RoutingProtocol::kStar);
+  net::SimParams sp;
+  sp.duration_s = 60.0;
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    auto channel = channel::make_default_body_channel(11);
+    const net::SimResult r = net::simulate(cfg, *channel, sp);
+    events += r.events;
+    benchmark::DoNotOptimize(r.pdr);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+  state.SetLabel(std::string(mesh ? "mesh" : "star") + "/" +
+                 (tdma ? "TDMA" : "CSMA") + " N=5, 60 s sim");
+}
+BENCHMARK(BM_Simulate)
+    ->Args({0, 0})
+    ->Args({0, 1})
+    ->Args({1, 0})
+    ->Args({1, 1});
+
+void BM_ChannelSample(benchmark::State& state) {
+  auto ch = channel::make_default_body_channel(3);
+  double t = 0.0;
+  double acc = 0.0;
+  for (auto _ : state) {
+    t += 0.01;
+    acc += ch->path_loss_db(0, 3, t);
+  }
+  benchmark::DoNotOptimize(acc);
+}
+BENCHMARK(BM_ChannelSample);
+
+}  // namespace
+
+BENCHMARK_MAIN();

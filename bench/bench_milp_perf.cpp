@@ -1,0 +1,105 @@
+// Microbenchmarks of the optimization stack (google-benchmark): dense
+// simplex solves, branch-and-bound, alternative-optimum enumeration, and
+// the full DSE MILP round.  These are the knobs that decide whether the
+// MILP half of Algorithm 1 is negligible next to the simulations (it
+// must be — in the paper CPLEX solves are instant next to Castalia).
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "dse/milp_encoding.hpp"
+#include "lp/simplex.hpp"
+#include "milp/solver.hpp"
+#include "model/design_space.hpp"
+
+namespace {
+
+using namespace hi;
+
+/// Random dense-ish LP with n variables and m <= rows.
+lp::Problem random_lp(int n, int m, std::uint64_t seed) {
+  Rng rng(seed);
+  lp::Problem p;
+  p.set_objective(lp::Objective::kMaximize);
+  for (int j = 0; j < n; ++j) {
+    p.add_variable(0.0, rng.uniform(0.5, 4.0), rng.uniform(0.0, 3.0));
+  }
+  for (int r = 0; r < m; ++r) {
+    std::vector<lp::Term> terms;
+    for (int j = 0; j < n; ++j) {
+      terms.push_back({j, rng.uniform(0.0, 2.0)});
+    }
+    p.add_constraint(terms, lp::Sense::kLessEqual, rng.uniform(1.0, 5.0));
+  }
+  return p;
+}
+
+void BM_SimplexSolve(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const lp::Problem p = random_lp(n, n, 42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lp::solve_simplex(p));
+  }
+}
+BENCHMARK(BM_SimplexSolve)->Arg(10)->Arg(40)->Arg(80);
+
+void BM_MilpKnapsack(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(7);
+  milp::Model m;
+  m.set_objective(lp::Objective::kMaximize);
+  std::vector<lp::Term> row;
+  for (int j = 0; j < n; ++j) {
+    m.add_binary(rng.uniform(1.0, 10.0));
+    row.push_back({j, rng.uniform(1.0, 10.0)});
+  }
+  m.add_constraint(row, lp::Sense::kLessEqual, 2.5 * n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(milp::solve(m));
+  }
+}
+BENCHMARK(BM_MilpKnapsack)->Arg(10)->Arg(20);
+
+void BM_MilpPoolEnumeration(benchmark::State& state) {
+  // k interchangeable binaries, pick exactly 2: C(k,2) alternative optima.
+  const int k = static_cast<int>(state.range(0));
+  milp::Model m;
+  std::vector<lp::Term> sum;
+  for (int j = 0; j < k; ++j) {
+    m.add_binary(1.0);
+    sum.push_back({j, 1.0});
+  }
+  m.add_constraint(sum, lp::Sense::kEqual, 2.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(milp::solve_all_optimal(m));
+  }
+}
+BENCHMARK(BM_MilpPoolEnumeration)->Arg(6)->Arg(10);
+
+void BM_DseMilpRound(benchmark::State& state) {
+  const model::Scenario scenario;
+  for (auto _ : state) {
+    dse::MilpEncoding enc(scenario);
+    benchmark::DoNotOptimize(enc.run_milp());
+  }
+}
+BENCHMARK(BM_DseMilpRound);
+
+void BM_DseMilpAllLevels(benchmark::State& state) {
+  const model::Scenario scenario;
+  for (auto _ : state) {
+    dse::MilpEncoding enc(scenario);
+    int levels = 0;
+    for (;;) {
+      const dse::MilpRound r = enc.run_milp();
+      if (r.status != lp::Status::kOptimal) break;
+      ++levels;
+      enc.add_power_cut_above(r.power_mw);
+    }
+    benchmark::DoNotOptimize(levels);
+  }
+}
+BENCHMARK(BM_DseMilpAllLevels);
+
+}  // namespace
+
+BENCHMARK_MAIN();

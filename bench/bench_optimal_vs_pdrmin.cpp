@@ -1,0 +1,53 @@
+// Reproduces the paper's Sec. 4.2 qualitative result: how the selected
+// configuration climbs the power ladder as the reliability bound rises —
+// star at -10 dBm, star at 0 dBm, 4-node mesh, then a fifth node added
+// to the mesh for the highest reliability (at the cost of a much shorter
+// lifetime).
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "dse/algorithm1.hpp"
+
+int main() {
+  using namespace hi;
+  const dse::EvaluatorSettings settings = bench::experiment_settings();
+  bench::banner("Sec. 4.2: optimal configuration ladder vs PDRmin",
+                settings);
+
+  model::Scenario scenario;
+  dse::Evaluator eval(settings);  // shared cache across the sweep
+
+  TextTable table;
+  table.set_header({"PDRmin", "topology", "N", "routing", "MAC", "Tx",
+                    "PDR (%)", "NLT (days)"});
+  // The top rungs stand in for the paper's "100% reliability" point: a
+  // finite simulation estimates PDR within the ~0.5% tolerance the paper
+  // quotes, so "100%" is encoded as PDRmin = 99.9..99.95%.
+  for (double pdr_min :
+       {0.40, 0.45, 0.50, 0.55, 0.60, 0.65, 0.70, 0.75, 0.80, 0.85, 0.90,
+        0.925, 0.95, 0.975, 0.99, 0.995, 0.999, 0.9995}) {
+    dse::Algorithm1Options opt;
+    opt.pdr_min = pdr_min;
+    const dse::ExplorationResult res =
+        dse::run_algorithm1(scenario, eval, opt);
+    if (!res.feasible) {
+      table.add_row({fmt_percent(pdr_min, 1), "(infeasible)"});
+      continue;
+    }
+    const auto& cfg = res.best;
+    table.add_row({fmt_percent(pdr_min, 1), cfg.topology.to_string(),
+                   std::to_string(cfg.topology.count()),
+                   model::to_string(cfg.routing.protocol),
+                   model::to_string(cfg.mac.protocol),
+                   fmt_double(cfg.radio.tx_dbm, 0) + "dBm",
+                   fmt_double(res.best_pdr * 100.0, 2),
+                   fmt_double(seconds_to_days(res.best_nlt_s), 1)});
+  }
+  table.print(std::cout);
+  std::cout << "\npaper's ladder: star/-10dBm below ~60% -> star/0dBm to "
+               "~90% -> mesh/0dBm above 90% -> fifth node (shoulder) for "
+               "~100%, dropping NLT to a couple of days\n";
+  return 0;
+}

@@ -1,0 +1,50 @@
+// hi-opt: shared plumbing for the experiment harness binaries.
+//
+// Every bench honours two environment variables:
+//   HI_TSIM  — simulation duration per run in seconds (default 60; the
+//              paper uses 600, which scales all sample counts by 10x but
+//              does not move the means beyond their ~0.5% error bars)
+//   HI_RUNS  — replications averaged per design point (default 3, as in
+//              the paper)
+//   HI_SEED  — experiment root seed (default 2017)
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "dse/evaluator.hpp"
+#include "model/design_space.hpp"
+
+namespace hi::bench {
+
+inline double env_double(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::atof(v) : fallback;
+}
+
+inline long env_long(const char* name, long fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::atol(v) : fallback;
+}
+
+/// Evaluation settings shared by all experiment benches.
+inline dse::EvaluatorSettings experiment_settings() {
+  dse::EvaluatorSettings s;
+  s.sim.duration_s = env_double("HI_TSIM", 60.0);
+  s.sim.seed = static_cast<std::uint64_t>(env_long("HI_SEED", 2017));
+  s.runs = static_cast<int>(env_long("HI_RUNS", 3));
+  return s;
+}
+
+/// Prints the standard experiment banner.
+inline void banner(const std::string& title,
+                   const dse::EvaluatorSettings& s) {
+  std::cout << "=== " << title << " ===\n"
+            << "settings: Tsim=" << s.sim.duration_s << " s, runs=" << s.runs
+            << ", seed=" << s.sim.seed
+            << "  (HI_TSIM / HI_RUNS / HI_SEED to override; paper: 600 s, "
+               "3 runs)\n\n";
+}
+
+}  // namespace hi::bench

@@ -1,0 +1,91 @@
+// Example: inspecting the body-channel model.
+//
+// Prints the calibrated average path-loss matrix (the stand-in for the
+// paper's measured dataset), the per-link fade parameters, a short fade
+// trace, and the per-link outage probabilities at each CC2650 Tx level —
+// the raw material behind the star/mesh reliability ladder.
+#include <iostream>
+
+#include "channel/channel.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "model/library.hpp"
+
+int main() {
+  using namespace hi;
+  using namespace hi::channel;
+
+  const PathLossMatrix& pl = calibrated_body_path_loss();
+
+  std::cout << "Average path loss PL̄(i,j) in dB "
+               "(calibrated stand-in for the measured dataset):\n\n";
+  TextTable matrix;
+  std::vector<std::string> header{""};
+  for (int j = 0; j < kNumLocations; ++j) {
+    header.push_back(std::string(location_name(j)));
+  }
+  matrix.set_header(header);
+  for (int i = 0; i < kNumLocations; ++i) {
+    std::vector<std::string> row{std::string(location_name(i))};
+    for (int j = 0; j < kNumLocations; ++j) {
+      row.push_back(i == j ? "-" : fmt_double(pl.db(i, j), 0));
+    }
+    matrix.add_row(row);
+  }
+  matrix.print(std::cout);
+
+  // Fade trace on the worst link.
+  std::cout << "\nGauss-Markov fade trace, chest->l-ankle (1 sample/s):\n  ";
+  BodyChannel body(pl, BodyChannelParams{}, Rng{42});
+  for (int t = 0; t < 15; ++t) {
+    std::cout << fmt_double(body.path_loss_db(kChest, kLeftAnkle,
+                                              static_cast<double>(t)),
+                            1)
+              << (t + 1 < 15 ? " " : "\n");
+  }
+
+  // Outage probability per link and Tx level (Monte Carlo).
+  const model::RadioChip& chip = model::cc2650();
+  std::cout << "\nLink outage probability (fade below sensitivity), "
+            << chip.name << ":\n\n";
+  TextTable outage;
+  outage.set_header({"link", "PL̄ (dB)", "sigma (dB)", "-20dBm", "-10dBm",
+                     "0dBm"});
+  const std::vector<std::pair<int, int>> links = {
+      {kChest, kLeftHip},   {kChest, kLeftWrist}, {kChest, kBack},
+      {kChest, kLeftAnkle}, {kLeftHip, kLeftAnkle},
+      {kLeftWrist, kLeftAnkle}};
+  for (const auto& [a, b] : links) {
+    BodyChannel mc(pl, BodyChannelParams{}, Rng{1234});
+    std::vector<int> outages(chip.num_tx_levels(), 0);
+    const int samples = 20'000;
+    double t = 0.0;
+    for (int s = 0; s < samples; ++s) {
+      t += 2.0;  // beyond tau: nearly independent draws
+      const double loss = mc.path_loss_db(a, b, t);
+      for (int k = 0; k < chip.num_tx_levels(); ++k) {
+        if (chip.tx_levels[static_cast<std::size_t>(k)].dbm - loss <
+            chip.rx_dbm) {
+          ++outages[static_cast<std::size_t>(k)];
+        }
+      }
+    }
+    std::vector<std::string> row{
+        std::string(location_name(a)) + "->" +
+            std::string(location_name(b)),
+        fmt_double(pl.db(a, b), 0), fmt_double(mc.link_sigma_db(a, b), 1)};
+    for (int k = 0; k < chip.num_tx_levels(); ++k) {
+      row.push_back(fmt_percent(
+          static_cast<double>(outages[static_cast<std::size_t>(k)]) /
+              samples,
+          1));
+    }
+    outage.add_row(row);
+  }
+  outage.print(std::cout);
+  std::cout << "\ntrunk links are safe at any level; ankle links stay "
+               "lossy even at 0 dBm — the deep-fade regime that makes the "
+               "paper switch from star to mesh\n";
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Example: extending the component library and the scenario.
+//
+// Everything the DSE consumes is data: this example builds a network
+// around a hypothetical lower-power radio, adds an application
+// requirement (a head-mounted node for EEG), tightens the node budget,
+// swaps in a harsher custom channel, and runs the full exploration —
+// without touching library code.
+#include <iostream>
+
+#include "channel/channel.hpp"
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "dse/algorithm1.hpp"
+#include "dse/exhaustive.hpp"
+
+int main() {
+  using namespace hi;
+
+  // --- A custom radio: slower but thriftier than the CC2650. -------------
+  model::RadioChip thrifty;
+  thrifty.name = "hypothetical sub-mW WBAN radio";
+  thrifty.fc_hz = 2.4e9;
+  thrifty.bit_rate_bps = 250e3;   // 802.15.4-class rate: 4x longer packets
+  thrifty.rx_dbm = -100.0;        // more sensitive receiver
+  thrifty.rx_mw = 6.0;
+  thrifty.tx_levels = {{-16.0, 4.2}, {-8.0, 5.5}, {0.0, 8.9}};
+
+  // --- A customized scenario. ---------------------------------------------
+  model::Scenario scenario;
+  scenario.chip = thrifty;
+  scenario.required_locations = {0, 8};  // chest + head (EEG)
+  scenario.coverage = {
+      {{1, 2}, "gait (hip)"},
+      {{3, 4}, "gait (foot)"},
+      {{5, 6}, "vitals (wrist)"},
+  };
+  scenario.min_nodes = 5;  // the four roles + head
+  scenario.max_nodes = 6;
+  scenario.app.throughput_pps = 5.0;  // EEG summary frames, not raw data
+  scenario.tdma_slot_s = 4e-3;  // the slower radio needs 3.2 ms per packet
+
+  // --- A harsher channel than the default calibration. --------------------
+  channel::BodyChannelParams fading;
+  fading.sigma_base_db = 6.0;
+  fading.sigma_per_m_db = 5.0;
+  fading.sigma_max_db = 12.0;
+  fading.tau_s = 0.5;  // faster body dynamics
+
+  dse::EvaluatorSettings es;
+  es.sim.duration_s = 120.0;
+  es.sim.seed = 23;
+  es.runs = 3;
+  es.channel = [fading](std::uint64_t seed) {
+    return channel::make_default_body_channel(seed, fading);
+  };
+  dse::Evaluator eval(es);
+
+  std::cout << "Custom scenario: " << thrifty.name << ", head node "
+            << "required, harsher fading\n"
+            << "design space: " << scenario.feasible_configs().size()
+            << " configurations\n\n";
+
+  TextTable table;
+  table.set_header({"PDRmin", "selected configuration", "PDR",
+                    "lifetime (days)", "sims"});
+  for (double pdr_min : {0.70, 0.90, 0.99}) {
+    dse::Algorithm1Options opt;
+    opt.pdr_min = pdr_min;
+    const dse::ExplorationResult res =
+        dse::run_algorithm1(scenario, eval, opt);
+    table.add_row({fmt_percent(pdr_min, 0),
+                   res.feasible ? res.best.label() : "(infeasible)",
+                   res.feasible ? fmt_percent(res.best_pdr, 1) : "-",
+                   res.feasible
+                       ? fmt_double(seconds_to_days(res.best_nlt_s), 1)
+                       : "-",
+                   std::to_string(res.simulations)});
+  }
+  table.print(std::cout);
+  std::cout << "\nnote the lifetime scale: the thrifty radio plus the "
+               "lower report rate stretch the battery far beyond the "
+               "CC2650 baseline, while the harsher channel pulls the "
+               "star->mesh crossover to a lower PDRmin\n";
+  return 0;
+}

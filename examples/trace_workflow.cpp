@@ -1,0 +1,68 @@
+// Example: the measured-trace workflow.
+//
+// The paper evaluates on measured path-loss traces.  This example shows
+// the full loop a user with their own measurement campaign would run:
+// (1) record a channel realization into a trace (here: freeze one
+// Gauss-Markov realization — with real data you would write the CSV
+// yourself), (2) save/load it as CSV, (3) replay it deterministically
+// through the simulator, and (4) confirm that two replays agree exactly
+// while a fresh stochastic channel does not.
+#include <iostream>
+#include <sstream>
+
+#include "channel/trace.hpp"
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "model/design_space.hpp"
+#include "net/network.hpp"
+
+int main() {
+  using namespace hi;
+
+  // (1) Record 120 s of the default body channel at 10 Hz.
+  auto live = channel::make_default_body_channel(2017);
+  const channel::ChannelTrace trace =
+      channel::record_trace(*live, 120.0, 0.1);
+  std::cout << "recorded " << trace.samples() << " samples x 45 pairs ("
+            << trace.duration_s() << " s at " << trace.dt_s() << " s)\n";
+
+  // (2) Round-trip through CSV (in-memory here; a file in practice).
+  std::stringstream csv;
+  trace.save_csv(csv);
+  std::cout << "CSV size: " << csv.str().size() / 1024 << " KiB\n";
+  const channel::ChannelTrace loaded = channel::ChannelTrace::load_csv(csv);
+
+  // (3) Replay through the simulator.
+  model::Scenario scenario;
+  const auto cfg = scenario.make_config(
+      model::Topology::from_locations({0, 1, 3, 5}), 2,
+      model::MacProtocol::kTdma, model::RoutingProtocol::kStar);
+  net::SimParams sp;
+  sp.duration_s = 120.0;
+  sp.seed = 7;
+
+  channel::TraceChannel replay_a(loaded);
+  channel::TraceChannel replay_b(loaded);
+  const net::SimResult a = net::simulate(cfg, replay_a, sp);
+  const net::SimResult b = net::simulate(cfg, replay_b, sp);
+  auto fresh = channel::make_default_body_channel(999);
+  const net::SimResult c = net::simulate(cfg, *fresh, sp);
+
+  TextTable table;
+  table.set_header({"channel", "PDR", "P (mW)"});
+  table.add_row({"trace replay #1", fmt_percent(a.pdr, 2),
+                 fmt_double(a.worst_power_mw, 4)});
+  table.add_row({"trace replay #2", fmt_percent(b.pdr, 2),
+                 fmt_double(b.worst_power_mw, 4)});
+  table.add_row({"fresh stochastic channel", fmt_percent(c.pdr, 2),
+                 fmt_double(c.worst_power_mw, 4)});
+  table.print(std::cout);
+
+  // (4) Replays are bit-identical; the stochastic channel is not.
+  const bool identical = a.pdr == b.pdr && a.worst_power_mw ==
+                                               b.worst_power_mw;
+  std::cout << "\nreplays identical: " << (identical ? "yes" : "NO")
+            << " — a frozen trace turns the whole evaluation into a "
+               "reproducible artifact\n";
+  return identical ? 0 : 1;
+}

@@ -1,0 +1,52 @@
+#include "channel/channel.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace hi::channel {
+
+BodyChannel::BodyChannel(PathLossMatrix avg, BodyChannelParams params, Rng rng)
+    : avg_(std::move(avg)), params_(params), rng_(rng) {
+  HI_REQUIRE(params_.sigma_base_db >= 0.0 && params_.sigma_per_m_db >= 0.0 &&
+                 params_.sigma_max_db >= 0.0,
+             "fade std-devs must be non-negative");
+  HI_REQUIRE(params_.tau_s > 0.0, "tau must be positive");
+}
+
+double BodyChannel::link_sigma_db(int i, int j) const {
+  const double d = euclidean_distance_m(i, j);
+  return std::min(params_.sigma_base_db + params_.sigma_per_m_db * d,
+                  params_.sigma_max_db);
+}
+
+double BodyChannel::path_loss_db(int i, int j, double t) {
+  if (i == j) {
+    return 0.0;
+  }
+  const auto key = std::minmax(i, j);
+  auto it = fades_.find(key);
+  if (it == fades_.end()) {
+    GaussMarkovParams gm;
+    gm.sigma_db = link_sigma_db(i, j);
+    gm.tau_s = params_.tau_s;
+    // Label the substream by the pair so fade draws are stable under
+    // changes elsewhere in the simulation.
+    const auto label = static_cast<std::uint64_t>(key.first) * 64 +
+                       static_cast<std::uint64_t>(key.second);
+    it = fades_.emplace(key, GaussMarkovFade{gm, rng_.fork(label)}).first;
+  }
+  return avg_.db(i, j) + it->second.sample_db(t);
+}
+
+double BodyChannel::mean_path_loss_db(int i, int j) const {
+  return avg_.db(i, j);
+}
+
+std::unique_ptr<ChannelModel> make_default_body_channel(
+    std::uint64_t seed, const BodyChannelParams& params) {
+  return std::make_unique<BodyChannel>(calibrated_body_path_loss(), params,
+                                       Rng{seed});
+}
+
+}  // namespace hi::channel

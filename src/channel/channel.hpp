@@ -1,0 +1,83 @@
+// hi-opt: instantaneous channel interface consumed by the network
+// simulator, plus the two standard implementations (static matrix for
+// deterministic tests; body channel = synthetic average matrix +
+// Gauss-Markov fading per link).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <utility>
+
+#include "channel/path_loss.hpp"
+#include "channel/temporal.hpp"
+#include "common/rng.hpp"
+
+namespace hi::channel {
+
+/// Abstract instantaneous channel.  path_loss_db() may be stateful
+/// (fading processes advance); times must be non-decreasing per link,
+/// which the event-driven simulator guarantees.
+class ChannelModel {
+ public:
+  virtual ~ChannelModel() = default;
+
+  /// Instantaneous path loss PL(i,j,t) in dB.
+  virtual double path_loss_db(int i, int j, double t) = 0;
+
+  /// Time-average path loss PL̄(i,j) in dB.
+  [[nodiscard]] virtual double mean_path_loss_db(int i, int j) const = 0;
+};
+
+/// Deterministic channel: PL(i,j,t) = PL̄(i,j).  Used by unit tests and by
+/// the lossless-limit validation of the analytic power model.
+class StaticChannel final : public ChannelModel {
+ public:
+  explicit StaticChannel(PathLossMatrix avg) : avg_(std::move(avg)) {}
+
+  double path_loss_db(int i, int j, double /*t*/) override {
+    return avg_.db(i, j);
+  }
+  [[nodiscard]] double mean_path_loss_db(int i, int j) const override {
+    return avg_.db(i, j);
+  }
+
+ private:
+  PathLossMatrix avg_;
+};
+
+/// Fading parameters of the body channel.  The fade std-dev grows with
+/// link distance (limb-to-limb links flap more than trunk links under
+/// body movement), matching the qualitative behaviour of the measured
+/// WBAN channels the paper builds on.
+struct BodyChannelParams {
+  double sigma_base_db = 5.0;   ///< fade std-dev of a zero-length link
+  double sigma_per_m_db = 4.0;  ///< additional std-dev per meter
+  double sigma_max_db = 10.0;   ///< cap
+  double tau_s = 1.0;           ///< decorrelation time constant
+};
+
+/// Average matrix + per-link Gauss-Markov fading.  Links are symmetric:
+/// (i,j) and (j,i) share one fade process.
+class BodyChannel final : public ChannelModel {
+ public:
+  BodyChannel(PathLossMatrix avg, BodyChannelParams params, Rng rng);
+
+  double path_loss_db(int i, int j, double t) override;
+  [[nodiscard]] double mean_path_loss_db(int i, int j) const override;
+
+  /// Fade std-dev assigned to link (i,j) in dB.
+  [[nodiscard]] double link_sigma_db(int i, int j) const;
+
+ private:
+  PathLossMatrix avg_;
+  BodyChannelParams params_;
+  Rng rng_;
+  std::map<std::pair<int, int>, GaussMarkovFade> fades_;
+};
+
+/// Convenience factory: calibrated body matrix + default fading.  This
+/// is the channel every experiment uses unless it injects its own.
+[[nodiscard]] std::unique_ptr<ChannelModel> make_default_body_channel(
+    std::uint64_t seed, const BodyChannelParams& params = {});
+
+}  // namespace hi::channel

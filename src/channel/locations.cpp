@@ -1,0 +1,48 @@
+#include "channel/locations.hpp"
+
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace hi::channel {
+
+const std::array<LocationInfo, kNumLocations>& locations() {
+  static const std::array<LocationInfo, kNumLocations> table = {{
+      {"chest", 0.00, 0.10, 1.35, BodySide::kFront},
+      {"l-hip", 0.15, 0.05, 0.95, BodySide::kFront},
+      {"r-hip", -0.15, 0.05, 0.95, BodySide::kFront},
+      {"l-ankle", 0.12, 0.00, 0.10, BodySide::kFront},
+      {"r-ankle", -0.12, 0.00, 0.10, BodySide::kFront},
+      {"l-wrist", 0.35, 0.05, 0.85, BodySide::kFront},
+      {"r-wrist", -0.35, 0.05, 0.85, BodySide::kFront},
+      {"l-arm", 0.20, 0.00, 1.45, BodySide::kFront},
+      {"head", 0.00, 0.05, 1.70, BodySide::kFront},
+      {"back", 0.00, -0.12, 1.30, BodySide::kBack},
+  }};
+  return table;
+}
+
+std::string_view location_name(int loc) {
+  HI_REQUIRE(loc >= 0 && loc < kNumLocations, "bad location " << loc);
+  return locations()[static_cast<std::size_t>(loc)].name;
+}
+
+double euclidean_distance_m(int i, int j) {
+  HI_REQUIRE(i >= 0 && i < kNumLocations, "bad location " << i);
+  HI_REQUIRE(j >= 0 && j < kNumLocations, "bad location " << j);
+  const LocationInfo& a = locations()[static_cast<std::size_t>(i)];
+  const LocationInfo& b = locations()[static_cast<std::size_t>(j)];
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  const double dz = a.z - b.z;
+  return std::sqrt(dx * dx + dy * dy + dz * dz);
+}
+
+bool crosses_trunk(int i, int j) {
+  HI_REQUIRE(i >= 0 && i < kNumLocations, "bad location " << i);
+  HI_REQUIRE(j >= 0 && j < kNumLocations, "bad location " << j);
+  return locations()[static_cast<std::size_t>(i)].side !=
+         locations()[static_cast<std::size_t>(j)].side;
+}
+
+}  // namespace hi::channel

@@ -1,0 +1,58 @@
+// hi-opt: the ten candidate on-body node locations of the DAC'17 design
+// example (Sec. 4.1): chest, left/right hip, left/right ankle, left/right
+// wrist, left upper arm (shoulder), head, and back.
+//
+// Each location carries an approximate 3-D position on a standing adult
+// (meters; x: left(+)/right(-), y: front(+)/back(-), z: height) and a
+// body-region tag used by the synthetic path-loss model to apply a trunk
+// (non-line-of-sight) shadowing penalty for front<->back links.
+#pragma once
+
+#include <array>
+#include <string_view>
+
+namespace hi::channel {
+
+/// Number of candidate locations (paper: M = 10).
+inline constexpr int kNumLocations = 10;
+
+/// Canonical location indices, matching Sec. 4.1 of the paper.
+enum Location : int {
+  kChest = 0,
+  kLeftHip = 1,
+  kRightHip = 2,
+  kLeftAnkle = 3,
+  kRightAnkle = 4,
+  kLeftWrist = 5,
+  kRightWrist = 6,
+  kLeftUpperArm = 7,
+  kHead = 8,
+  kBack = 9,
+};
+
+/// Gross body side used for the trunk-shadowing term.
+enum class BodySide { kFront, kBack };
+
+/// Static description of one location.
+struct LocationInfo {
+  std::string_view name;
+  double x = 0.0;  ///< meters, left positive
+  double y = 0.0;  ///< meters, front positive
+  double z = 0.0;  ///< meters, height above ground
+  BodySide side = BodySide::kFront;
+};
+
+/// Lookup table for all kNumLocations locations.
+[[nodiscard]] const std::array<LocationInfo, kNumLocations>& locations();
+
+/// Short human-readable name ("chest", "l-hip", ...).
+[[nodiscard]] std::string_view location_name(int loc);
+
+/// Straight-line distance between two locations in meters.
+[[nodiscard]] double euclidean_distance_m(int i, int j);
+
+/// True when the link crosses the trunk (front <-> back), which the
+/// synthetic model penalizes with extra shadowing.
+[[nodiscard]] bool crosses_trunk(int i, int j);
+
+}  // namespace hi::channel

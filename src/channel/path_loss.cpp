@@ -1,0 +1,73 @@
+#include "channel/path_loss.hpp"
+
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace hi::channel {
+
+PathLossMatrix::PathLossMatrix() { pl_.fill(0.0); }
+
+double PathLossMatrix::db(int i, int j) const {
+  HI_REQUIRE(i >= 0 && i < kNumLocations, "bad location " << i);
+  HI_REQUIRE(j >= 0 && j < kNumLocations, "bad location " << j);
+  return pl_[static_cast<std::size_t>(i) * kNumLocations +
+             static_cast<std::size_t>(j)];
+}
+
+void PathLossMatrix::set_db(int i, int j, double value_db) {
+  HI_REQUIRE(i >= 0 && i < kNumLocations, "bad location " << i);
+  HI_REQUIRE(j >= 0 && j < kNumLocations, "bad location " << j);
+  HI_REQUIRE(i != j || value_db == 0.0, "PL(i,i) must stay 0");
+  pl_[static_cast<std::size_t>(i) * kNumLocations +
+      static_cast<std::size_t>(j)] = value_db;
+  pl_[static_cast<std::size_t>(j) * kNumLocations +
+      static_cast<std::size_t>(i)] = value_db;
+}
+
+PathLossMatrix synthetic_body_path_loss(const SyntheticPathLossParams& p) {
+  HI_REQUIRE(p.d0_m > 0.0, "reference distance must be positive");
+  PathLossMatrix m;
+  for (int i = 0; i < kNumLocations; ++i) {
+    for (int j = i + 1; j < kNumLocations; ++j) {
+      const double d = std::max(euclidean_distance_m(i, j), p.d0_m);
+      double pl = p.pl0_db + 10.0 * p.exponent * std::log10(d / p.d0_m);
+      if (crosses_trunk(i, j)) {
+        pl += p.trunk_penalty_db;
+      }
+      m.set_db(i, j, pl);
+    }
+  }
+  return m;
+}
+
+const PathLossMatrix& calibrated_body_path_loss() {
+  // Upper-triangular entries in dB; see the header for the rationale.
+  // Order: 0 chest, 1 l-hip, 2 r-hip, 3 l-ankle, 4 r-ankle, 5 l-wrist,
+  // 6 r-wrist, 7 l-arm, 8 head, 9 back.
+  static const PathLossMatrix matrix = [] {
+    PathLossMatrix m;
+    const double pl[kNumLocations][kNumLocations] = {
+        //  1    2    3    4    5    6    7    8    9
+        {0, 64, 64, 94, 94, 74, 74, 62, 64, 82},   // 0 chest
+        {0, 0, 66, 80, 86, 74, 78, 72, 76, 72},    // 1 l-hip
+        {0, 0, 0, 86, 80, 78, 74, 76, 76, 72},     // 2 r-hip
+        {0, 0, 0, 0, 94, 96, 98, 92, 98, 92},      // 3 l-ankle
+        {0, 0, 0, 0, 0, 98, 96, 92, 98, 92},       // 4 r-ankle
+        {0, 0, 0, 0, 0, 0, 84, 66, 76, 80},        // 5 l-wrist
+        {0, 0, 0, 0, 0, 0, 0, 76, 76, 80},         // 6 r-wrist
+        {0, 0, 0, 0, 0, 0, 0, 0, 64, 70},          // 7 l-arm
+        {0, 0, 0, 0, 0, 0, 0, 0, 0, 66},           // 8 head
+        {0, 0, 0, 0, 0, 0, 0, 0, 0, 0},            // 9 back
+    };
+    for (int i = 0; i < kNumLocations; ++i) {
+      for (int j = i + 1; j < kNumLocations; ++j) {
+        m.set_db(i, j, pl[i][j]);
+      }
+    }
+    return m;
+  }();
+  return matrix;
+}
+
+}  // namespace hi::channel

@@ -1,0 +1,34 @@
+#include "channel/temporal.hpp"
+
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace hi::channel {
+
+GaussMarkovFade::GaussMarkovFade(GaussMarkovParams params, Rng rng)
+    : params_(params), rng_(rng) {
+  HI_REQUIRE(params_.sigma_db >= 0.0, "sigma must be non-negative");
+  HI_REQUIRE(params_.tau_s > 0.0, "tau must be positive");
+}
+
+double GaussMarkovFade::sample_db(double t) {
+  if (!initialized_) {
+    initialized_ = true;
+    last_t_ = t;
+    delta_db_ = rng_.normal(0.0, params_.sigma_db);
+    return delta_db_;
+  }
+  HI_ASSERT_MSG(t >= last_t_, "time went backwards: " << t << " < " << last_t_);
+  const double dt = t - last_t_;
+  last_t_ = t;
+  if (dt == 0.0) {
+    return delta_db_;
+  }
+  const double rho = std::exp(-dt / params_.tau_s);
+  const double innovation_sd = params_.sigma_db * std::sqrt(1.0 - rho * rho);
+  delta_db_ = rho * delta_db_ + rng_.normal(0.0, innovation_sd);
+  return delta_db_;
+}
+
+}  // namespace hi::channel

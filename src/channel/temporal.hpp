@@ -1,0 +1,53 @@
+// hi-opt: temporal variation δPL(t) of a body-channel link.
+//
+// The paper (Eq. 1) models the instantaneous path loss as
+//     PL(i,j,t) = PL̄(i,j) + δPL(i,j,t)
+// where δPL(t) is drawn from a pdf conditioned on the previously observed
+// value δPL(t-Δt) and the elapsed time Δt — "if little time has passed,
+// δPL(t) does not significantly differ from δPL(t-Δt)".  The empirical
+// pdfs (Smith et al. / Castalia) are not available offline; we substitute
+// the first-order Gauss-Markov (discretized Ornstein-Uhlenbeck) process
+// that has exactly this conditional structure:
+//
+//     δ(t) = ρ·δ(t-Δt) + σ·sqrt(1-ρ²)·N(0,1),   ρ = exp(-Δt/τ).
+//
+// σ is the stationary standard deviation of the fade (dB) and τ the
+// decorrelation time constant (seconds, body-movement timescale).  The
+// process is stationary with δ ~ N(0, σ²) and autocorrelation exp(-Δt/τ),
+// both of which the test suite verifies.
+#pragma once
+
+#include "common/rng.hpp"
+
+namespace hi::channel {
+
+/// Parameters of the Gauss-Markov fade process for one link.
+struct GaussMarkovParams {
+  double sigma_db = 6.0;  ///< stationary std-dev of the fade in dB
+  double tau_s = 1.0;     ///< decorrelation time constant in seconds
+};
+
+/// One link's temporal fade state.  Sampling at monotonically
+/// non-decreasing times yields a stationary Gauss-Markov trajectory;
+/// the first sample is drawn from the stationary distribution.
+class GaussMarkovFade {
+ public:
+  GaussMarkovFade(GaussMarkovParams params, Rng rng);
+
+  /// Returns δPL at time t (dB).  `t` must be >= the previous call's time.
+  double sample_db(double t);
+
+  /// Last sampled value without advancing the process.
+  [[nodiscard]] double current_db() const { return delta_db_; }
+
+  [[nodiscard]] const GaussMarkovParams& params() const { return params_; }
+
+ private:
+  GaussMarkovParams params_;
+  Rng rng_;
+  double last_t_ = 0.0;
+  double delta_db_ = 0.0;
+  bool initialized_ = false;
+};
+
+}  // namespace hi::channel

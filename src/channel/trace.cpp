@@ -1,0 +1,164 @@
+#include "channel/trace.hpp"
+
+#include <cmath>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <string>
+
+#include "common/assert.hpp"
+
+namespace hi::channel {
+
+namespace {
+constexpr std::size_t kNumPairs =
+    static_cast<std::size_t>(kNumLocations) * (kNumLocations - 1) / 2;
+}  // namespace
+
+std::size_t ChannelTrace::pair_index(int i, int j) {
+  HI_REQUIRE(i >= 0 && i < kNumLocations && j >= 0 && j < kNumLocations &&
+                 i != j,
+             "bad pair (" << i << "," << j << ")");
+  if (i > j) {
+    std::swap(i, j);
+  }
+  // Index of (i,j), i<j, in lexicographic order.
+  const int before =
+      i * kNumLocations - i * (i + 1) / 2;  // pairs with first < i
+  return static_cast<std::size_t>(before + (j - i - 1));
+}
+
+ChannelTrace::ChannelTrace(double dt_s, std::size_t samples)
+    : dt_s_(dt_s),
+      samples_(samples),
+      data_(kNumPairs, std::vector<double>(samples, 0.0)) {
+  HI_REQUIRE(dt_s_ > 0.0, "sampling interval must be positive");
+  HI_REQUIRE(samples_ >= 1, "trace needs at least one sample");
+}
+
+void ChannelTrace::set(int i, int j, std::size_t k, double pl_db) {
+  HI_REQUIRE(k < samples_, "sample index " << k << " out of range");
+  data_[pair_index(i, j)][k] = pl_db;
+}
+
+double ChannelTrace::sample(int i, int j, std::size_t k) const {
+  HI_REQUIRE(k < samples_, "sample index " << k << " out of range");
+  return data_[pair_index(i, j)][k];
+}
+
+double ChannelTrace::at(int i, int j, double t) const {
+  if (i == j) {
+    return 0.0;
+  }
+  const std::vector<double>& series = data_[pair_index(i, j)];
+  if (samples_ == 1) {
+    return series[0];
+  }
+  const double duration = duration_s();
+  double phase = std::fmod(t, duration);
+  if (phase < 0.0) {
+    phase += duration;
+  }
+  const double pos = phase / dt_s_;
+  const auto k0 = static_cast<std::size_t>(pos);
+  const std::size_t k1 = (k0 + 1) % samples_;  // wrap for the last segment
+  const double frac = pos - static_cast<double>(k0);
+  return series[k0] * (1.0 - frac) + series[k1] * frac;
+}
+
+double ChannelTrace::mean_db(int i, int j) const {
+  if (i == j) {
+    return 0.0;
+  }
+  const std::vector<double>& series = data_[pair_index(i, j)];
+  double acc = 0.0;
+  for (double v : series) acc += v;
+  return acc / static_cast<double>(samples_);
+}
+
+void ChannelTrace::save_csv(std::ostream& os) const {
+  // Full round-trip precision (the load path re-parses with stod).
+  const auto old_precision = os.precision(17);
+  os << 't';
+  for (int i = 0; i < kNumLocations; ++i) {
+    for (int j = i + 1; j < kNumLocations; ++j) {
+      os << ",pl_" << i << '_' << j;
+    }
+  }
+  os << '\n';
+  for (std::size_t k = 0; k < samples_; ++k) {
+    os << static_cast<double>(k) * dt_s_;
+    for (std::size_t p = 0; p < kNumPairs; ++p) {
+      os << ',' << data_[p][k];
+    }
+    os << '\n';
+  }
+  os.precision(old_precision);
+}
+
+ChannelTrace ChannelTrace::load_csv(std::istream& is) {
+  std::string line;
+  HI_REQUIRE(std::getline(is, line), "trace CSV: missing header");
+  // Collect all rows first to size the trace.
+  std::vector<std::vector<double>> rows;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    std::vector<double> row;
+    std::stringstream ss(line);
+    std::string cell;
+    while (std::getline(ss, cell, ',')) {
+      try {
+        row.push_back(std::stod(cell));
+      } catch (const std::exception&) {
+        throw ModelError("trace CSV: bad number '" + cell + "'");
+      }
+    }
+    HI_REQUIRE(row.size() == kNumPairs + 1,
+               "trace CSV: row has " << row.size() << " fields, expected "
+                                     << kNumPairs + 1);
+    rows.push_back(std::move(row));
+  }
+  HI_REQUIRE(rows.size() >= 1, "trace CSV: no samples");
+  const double dt = rows.size() >= 2 ? rows[1][0] - rows[0][0] : 1.0;
+  HI_REQUIRE(dt > 0.0, "trace CSV: non-increasing timestamps");
+  ChannelTrace trace(dt, rows.size());
+  for (std::size_t k = 0; k < rows.size(); ++k) {
+    std::size_t p = 1;
+    for (int i = 0; i < kNumLocations; ++i) {
+      for (int j = i + 1; j < kNumLocations; ++j) {
+        trace.set(i, j, k, rows[k][p++]);
+      }
+    }
+  }
+  return trace;
+}
+
+ChannelTrace record_trace(ChannelModel& model, double duration_s,
+                          double dt_s) {
+  HI_REQUIRE(duration_s > 0.0 && dt_s > 0.0,
+             "record_trace: duration and dt must be positive");
+  const auto samples =
+      static_cast<std::size_t>(std::ceil(duration_s / dt_s));
+  ChannelTrace trace(dt_s, samples);
+  for (std::size_t k = 0; k < samples; ++k) {
+    const double t = static_cast<double>(k) * dt_s;
+    for (int i = 0; i < kNumLocations; ++i) {
+      for (int j = i + 1; j < kNumLocations; ++j) {
+        trace.set(i, j, k, model.path_loss_db(i, j, t));
+      }
+    }
+  }
+  return trace;
+}
+
+TraceChannel::TraceChannel(ChannelTrace trace) : trace_(std::move(trace)) {}
+
+double TraceChannel::path_loss_db(int i, int j, double t) {
+  return trace_.at(i, j, t);
+}
+
+double TraceChannel::mean_path_loss_db(int i, int j) const {
+  return trace_.mean_db(i, j);
+}
+
+}  // namespace hi::channel

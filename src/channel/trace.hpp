@@ -1,0 +1,80 @@
+// hi-opt: trace-driven channel.
+//
+// The paper evaluates on *measured* path-loss traces (a two-hour
+// daily-activity dataset sampled on adult subjects).  This module is the
+// hook for that workflow: a ChannelTrace holds regularly-sampled
+// PL(i,j,t) series for every location pair, loadable from / savable to
+// CSV, and TraceChannel replays one as a ChannelModel (linear
+// interpolation between samples, wrapping around at the end so short
+// traces can drive long simulations).  record_trace() samples any other
+// ChannelModel into a trace — e.g. to freeze a Gauss-Markov realization
+// into a reproducible artifact.
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "channel/channel.hpp"
+
+namespace hi::channel {
+
+/// Regularly-sampled path-loss series for all location pairs.
+class ChannelTrace {
+ public:
+  /// `dt_s` seconds between samples, `samples` samples per pair.
+  ChannelTrace(double dt_s, std::size_t samples);
+
+  /// Sets PL(i,j) = PL(j,i) at sample index k.
+  void set(int i, int j, std::size_t k, double pl_db);
+
+  /// Sample k of pair (i,j).
+  [[nodiscard]] double sample(int i, int j, std::size_t k) const;
+
+  /// Path loss at continuous time t: linear interpolation between
+  /// samples, wrapping modulo the trace duration.
+  [[nodiscard]] double at(int i, int j, double t) const;
+
+  /// Time-average path loss of a pair.
+  [[nodiscard]] double mean_db(int i, int j) const;
+
+  [[nodiscard]] double dt_s() const { return dt_s_; }
+  [[nodiscard]] std::size_t samples() const { return samples_; }
+  [[nodiscard]] double duration_s() const {
+    return dt_s_ * static_cast<double>(samples_);
+  }
+
+  /// CSV: header `t,pl_0_1,pl_0_2,...,pl_8_9`, one row per sample.
+  void save_csv(std::ostream& os) const;
+
+  /// Parses the save_csv format; throws hi::ModelError on malformed
+  /// input.
+  static ChannelTrace load_csv(std::istream& is);
+
+ private:
+  [[nodiscard]] static std::size_t pair_index(int i, int j);
+
+  double dt_s_;
+  std::size_t samples_;
+  // [pair][sample], pairs in lexicographic (i<j) order.
+  std::vector<std::vector<double>> data_;
+};
+
+/// Samples `model` every dt_s for duration_s into a trace.
+[[nodiscard]] ChannelTrace record_trace(ChannelModel& model,
+                                        double duration_s, double dt_s);
+
+/// Replays a trace as an instantaneous channel.
+class TraceChannel final : public ChannelModel {
+ public:
+  explicit TraceChannel(ChannelTrace trace);
+
+  double path_loss_db(int i, int j, double t) override;
+  [[nodiscard]] double mean_path_loss_db(int i, int j) const override;
+
+  [[nodiscard]] const ChannelTrace& trace() const { return trace_; }
+
+ private:
+  ChannelTrace trace_;
+};
+
+}  // namespace hi::channel

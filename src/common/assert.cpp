@@ -1,0 +1,15 @@
+#include "common/assert.hpp"
+
+namespace hi::detail {
+
+void assert_fail(const char* expr, const char* file, int line,
+                 const std::string& msg) {
+  std::ostringstream oss;
+  oss << "HI_ASSERT failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) {
+    oss << " — " << msg;
+  }
+  throw InternalError(oss.str());
+}
+
+}  // namespace hi::detail

@@ -1,0 +1,69 @@
+// hi-opt: error handling primitives.
+//
+// The library throws `hi::Error` for contract violations that a caller can
+// plausibly recover from (bad model input, infeasible dimensions) and uses
+// HI_ASSERT for internal invariants.  Assertions stay enabled in release
+// builds: all hot loops in this codebase are dominated by event handling,
+// not by the checks.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace hi {
+
+/// Base exception for all hi-opt errors.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when a user-supplied model/problem is malformed.
+class ModelError : public Error {
+ public:
+  explicit ModelError(const std::string& what) : Error(what) {}
+};
+
+/// Thrown when an internal invariant is violated (a bug in hi-opt itself).
+class InternalError : public Error {
+ public:
+  explicit InternalError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void assert_fail(const char* expr, const char* file, int line,
+                              const std::string& msg);
+}  // namespace detail
+
+}  // namespace hi
+
+/// Internal invariant check; enabled in all build types.
+#define HI_ASSERT(expr)                                              \
+  do {                                                               \
+    if (!(expr)) {                                                   \
+      ::hi::detail::assert_fail(#expr, __FILE__, __LINE__, "");      \
+    }                                                                \
+  } while (false)
+
+/// Internal invariant check with a streamed message:
+///   HI_ASSERT_MSG(x > 0, "x=" << x);
+#define HI_ASSERT_MSG(expr, stream_expr)                             \
+  do {                                                               \
+    if (!(expr)) {                                                   \
+      std::ostringstream hi_assert_oss_;                             \
+      hi_assert_oss_ << stream_expr;                                 \
+      ::hi::detail::assert_fail(#expr, __FILE__, __LINE__,           \
+                                hi_assert_oss_.str());               \
+    }                                                                \
+  } while (false)
+
+/// Validates user input; throws hi::ModelError on failure.
+#define HI_REQUIRE(expr, stream_expr)                                \
+  do {                                                               \
+    if (!(expr)) {                                                   \
+      std::ostringstream hi_require_oss_;                            \
+      hi_require_oss_ << stream_expr;                                \
+      throw ::hi::ModelError(hi_require_oss_.str());                 \
+    }                                                                \
+  } while (false)

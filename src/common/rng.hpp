@@ -1,0 +1,74 @@
+// hi-opt: deterministic random number generation.
+//
+// All stochastic components (channel fading, CSMA backoff, packet jitter,
+// simulated annealing) draw from hi::Rng so that every experiment is
+// reproducible from a single 64-bit seed.  The generator is xoshiro256**,
+// seeded through splitmix64; both are public-domain algorithms by
+// Blackman & Vigna.  Independent substreams are derived with `fork()`,
+// which hashes a stream label into a fresh seed, so adding a consumer of
+// randomness to one module never perturbs the draws seen by another.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace hi {
+
+/// splitmix64 step; used for seeding and for hashing stream labels.
+[[nodiscard]] std::uint64_t splitmix64(std::uint64_t& state);
+
+/// Deterministic, forkable pseudo-random generator (xoshiro256**).
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Constructs a generator from a 64-bit seed (expanded via splitmix64).
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  /// UniformRandomBitGenerator interface.
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~result_type{0}; }
+  result_type operator()() { return next_u64(); }
+
+  /// Next raw 64-bit draw.
+  std::uint64_t next_u64();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n) for n > 0 (unbiased, via rejection).
+  std::uint64_t uniform_index(std::uint64_t n);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Standard normal draw (Marsaglia polar method, cached spare).
+  double normal();
+
+  /// Normal draw with the given mean and standard deviation.
+  double normal(double mean, double stddev);
+
+  /// Exponential draw with the given rate (mean 1/rate).
+  double exponential(double rate);
+
+  /// Bernoulli draw with success probability p.
+  bool bernoulli(double p);
+
+  /// Derives an independent substream labelled `label`.  The same (seed,
+  /// label) pair always yields the same substream.
+  [[nodiscard]] Rng fork(std::string_view label) const;
+
+  /// Derives an independent substream from an integer label.
+  [[nodiscard]] Rng fork(std::uint64_t label) const;
+
+ private:
+  std::uint64_t s_[4];
+  std::uint64_t seed_;  // retained so fork() can derive child seeds
+  double spare_normal_ = 0.0;
+  bool has_spare_normal_ = false;
+};
+
+}  // namespace hi

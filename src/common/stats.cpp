@@ -1,0 +1,106 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace hi {
+
+void RunningStats::add(double x) {
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+double RunningStats::variance() const {
+  if (n_ < 2) {
+    return 0.0;
+  }
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::stderr_mean() const {
+  if (n_ == 0) {
+    return 0.0;
+  }
+  return stddev() / std::sqrt(static_cast<double>(n_));
+}
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.n_ == 0) {
+    return;
+  }
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const auto na = static_cast<double>(n_);
+  const auto nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  n_ += other.n_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  HI_REQUIRE(hi > lo, "Histogram range must be nonempty: [" << lo << ", " << hi
+                                                            << ")");
+  HI_REQUIRE(bins > 0, "Histogram needs at least one bin");
+}
+
+void Histogram::add(double x) {
+  const double t = (x - lo_) / (hi_ - lo_);
+  auto idx = static_cast<std::ptrdiff_t>(t * static_cast<double>(bins()));
+  idx = std::clamp<std::ptrdiff_t>(idx, 0,
+                                   static_cast<std::ptrdiff_t>(bins()) - 1);
+  ++counts_[static_cast<std::size_t>(idx)];
+  ++total_;
+}
+
+double Histogram::fraction(std::size_t i) const {
+  if (total_ == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(count(i)) / static_cast<double>(total_);
+}
+
+double Histogram::bin_center(std::size_t i) const {
+  const double width = (hi_ - lo_) / static_cast<double>(bins());
+  return lo_ + width * (static_cast<double>(i) + 0.5);
+}
+
+double pearson_correlation(const std::vector<double>& a,
+                           const std::vector<double>& b) {
+  HI_REQUIRE(a.size() == b.size(),
+             "pearson_correlation: size mismatch " << a.size() << " vs "
+                                                   << b.size());
+  if (a.empty()) {
+    return 0.0;
+  }
+  RunningStats sa, sb;
+  for (double x : a) sa.add(x);
+  for (double x : b) sb.add(x);
+  if (sa.stddev() == 0.0 || sb.stddev() == 0.0) {
+    return 0.0;
+  }
+  double cov = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    cov += (a[i] - sa.mean()) * (b[i] - sb.mean());
+  }
+  cov /= static_cast<double>(a.size() - 1);
+  return cov / (sa.stddev() * sb.stddev());
+}
+
+}  // namespace hi

@@ -1,0 +1,90 @@
+// hi-opt: streaming statistics used by the simulator (PDR/power estimates
+// averaged over runs) and by the benchmark harness.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+namespace hi {
+
+/// Welford's online mean/variance accumulator with min/max tracking.
+class RunningStats {
+ public:
+  /// Adds a sample.
+  void add(double x);
+
+  /// Number of samples added.
+  [[nodiscard]] std::size_t count() const { return n_; }
+
+  /// Sample mean; 0 when empty.
+  [[nodiscard]] double mean() const { return mean_; }
+
+  /// Unbiased sample variance; 0 when fewer than two samples.
+  [[nodiscard]] double variance() const;
+
+  /// Unbiased sample standard deviation.
+  [[nodiscard]] double stddev() const;
+
+  /// Standard error of the mean (stddev / sqrt(n)); 0 when empty.
+  [[nodiscard]] double stderr_mean() const;
+
+  /// Smallest sample seen; +inf when empty.
+  [[nodiscard]] double min() const { return min_; }
+
+  /// Largest sample seen; -inf when empty.
+  [[nodiscard]] double max() const { return max_; }
+
+  /// Sum of all samples.
+  [[nodiscard]] double sum() const { return sum_; }
+
+  /// Merges another accumulator into this one (parallel Welford).
+  void merge(const RunningStats& other);
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Fixed-bin histogram over [lo, hi); samples outside the range land in
+/// the first/last bin.  Used by the channel-model validation tests.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  /// Adds a sample.
+  void add(double x);
+
+  /// Number of bins.
+  [[nodiscard]] std::size_t bins() const { return counts_.size(); }
+
+  /// Count in bin i.
+  [[nodiscard]] std::size_t count(std::size_t i) const { return counts_.at(i); }
+
+  /// Total samples added.
+  [[nodiscard]] std::size_t total() const { return total_; }
+
+  /// Fraction of samples in bin i.
+  [[nodiscard]] double fraction(std::size_t i) const;
+
+  /// Center of bin i.
+  [[nodiscard]] double bin_center(std::size_t i) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+/// Pearson correlation of two equally-sized sample vectors; used to check
+/// the channel temporal-autocorrelation property.  Returns 0 if either
+/// vector has zero variance.
+[[nodiscard]] double pearson_correlation(const std::vector<double>& a,
+                                         const std::vector<double>& b);
+
+}  // namespace hi

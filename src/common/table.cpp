@@ -1,0 +1,83 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <iomanip>
+
+namespace hi {
+
+void TextTable::set_header(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  rows_.push_back(std::move(row));
+}
+
+void TextTable::print(std::ostream& os) const {
+  // Column widths.
+  std::size_t cols = header_.size();
+  for (const auto& r : rows_) {
+    cols = std::max(cols, r.size());
+  }
+  std::vector<std::size_t> width(cols, 0);
+  auto grow = [&](const std::vector<std::string>& r) {
+    for (std::size_t i = 0; i < r.size(); ++i) {
+      width[i] = std::max(width[i], r[i].size());
+    }
+  };
+  grow(header_);
+  for (const auto& r : rows_) grow(r);
+
+  auto emit = [&](const std::vector<std::string>& r) {
+    for (std::size_t i = 0; i < cols; ++i) {
+      const std::string& cell = i < r.size() ? r[i] : std::string{};
+      os << std::left << std::setw(static_cast<int>(width[i])) << cell;
+      if (i + 1 < cols) {
+        os << "  ";
+      }
+    }
+    os << '\n';
+  };
+
+  if (!header_.empty()) {
+    emit(header_);
+    std::size_t rule = 0;
+    for (std::size_t i = 0; i < cols; ++i) {
+      rule += width[i] + (i + 1 < cols ? 2 : 0);
+    }
+    os << std::string(rule, '-') << '\n';
+  }
+  for (const auto& r : rows_) {
+    emit(r);
+  }
+}
+
+void TextTable::print_csv(std::ostream& os) const {
+  auto emit = [&](const std::vector<std::string>& r) {
+    for (std::size_t i = 0; i < r.size(); ++i) {
+      if (i) os << ',';
+      // Quote cells containing commas.
+      if (r[i].find(',') != std::string::npos) {
+        os << '"' << r[i] << '"';
+      } else {
+        os << r[i];
+      }
+    }
+    os << '\n';
+  };
+  if (!header_.empty()) emit(header_);
+  for (const auto& r : rows_) emit(r);
+}
+
+std::string fmt_double(double v, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", digits, v);
+  return buf;
+}
+
+std::string fmt_percent(double ratio, int digits) {
+  return fmt_double(ratio * 100.0, digits) + "%";
+}
+
+}  // namespace hi

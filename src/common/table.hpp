@@ -1,0 +1,41 @@
+// hi-opt: console table / CSV writers used by the benchmark harness to
+// print paper tables and figure series in a uniform format.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace hi {
+
+/// A simple left-padded text table.  Columns are sized to fit; numbers are
+/// the caller's responsibility to format (use fmt_double below).
+class TextTable {
+ public:
+  /// Sets the header row.
+  void set_header(std::vector<std::string> header);
+
+  /// Appends a data row; it may have fewer cells than the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Number of data rows.
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+  /// Renders the table with aligned columns and a rule under the header.
+  void print(std::ostream& os) const;
+
+  /// Renders the table as CSV (header first if set).
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `digits` digits after the decimal point.
+[[nodiscard]] std::string fmt_double(double v, int digits = 2);
+
+/// Formats a ratio as a percentage string, e.g. 0.873 -> "87.3%".
+[[nodiscard]] std::string fmt_percent(double ratio, int digits = 1);
+
+}  // namespace hi

@@ -1,0 +1,60 @@
+// hi-opt: physical unit helpers used across the channel, radio, and power
+// models.  Power quantities appear in two forms throughout the paper:
+// logarithmic (dBm) for link budgets and linear (mW) for energy accounting.
+#pragma once
+
+#include <cmath>
+
+namespace hi {
+
+/// Converts a power level from dBm to milliwatts.
+[[nodiscard]] inline double dbm_to_mw(double dbm) {
+  return std::pow(10.0, dbm / 10.0);
+}
+
+/// Converts a power level from milliwatts to dBm.
+[[nodiscard]] inline double mw_to_dbm(double mw) {
+  return 10.0 * std::log10(mw);
+}
+
+/// Seconds in a day; network lifetime is reported in days (Fig. 3).
+inline constexpr double kSecondsPerDay = 86'400.0;
+
+/// Converts seconds to days.
+[[nodiscard]] inline constexpr double seconds_to_days(double s) {
+  return s / kSecondsPerDay;
+}
+
+/// Converts days to seconds.
+[[nodiscard]] inline constexpr double days_to_seconds(double d) {
+  return d * kSecondsPerDay;
+}
+
+/// Converts milliwatts to watts.
+[[nodiscard]] inline constexpr double mw_to_w(double mw) { return mw * 1e-3; }
+
+/// Converts microwatts to milliwatts.
+[[nodiscard]] inline constexpr double uw_to_mw(double uw) { return uw * 1e-3; }
+
+/// Energy of a battery given capacity in mAh and voltage in volts, in
+/// joules.  A CR2032 coin cell is ~225 mAh at 3 V nominal => ~2430 J.
+[[nodiscard]] inline constexpr double battery_energy_j(double mah,
+                                                       double volts) {
+  return mah * 1e-3 * volts * 3600.0;
+}
+
+/// Packet transmission duration in seconds for a payload of `bytes` at a
+/// bit rate of `bit_rate_bps` (paper: Tpkt = 8L / BR).
+[[nodiscard]] inline constexpr double packet_duration_s(double bytes,
+                                                        double bit_rate_bps) {
+  return 8.0 * bytes / bit_rate_bps;
+}
+
+/// True when |a - b| <= atol + rtol*max(|a|,|b|).
+[[nodiscard]] inline bool approx_equal(double a, double b, double rtol = 1e-9,
+                                       double atol = 1e-12) {
+  return std::fabs(a - b) <=
+         atol + rtol * std::fmax(std::fabs(a), std::fabs(b));
+}
+
+}  // namespace hi

@@ -1,0 +1,60 @@
+#include "des/kernel.hpp"
+
+#include <utility>
+
+#include "common/assert.hpp"
+
+namespace hi::des {
+
+EventId Kernel::schedule_at(Time t, Handler h) {
+  HI_ASSERT_MSG(t >= now_, "schedule_at(" << t << ") before now=" << now_);
+  HI_ASSERT(h != nullptr);
+  const std::uint64_t seq = next_seq_++;
+  queue_.push(QEntry{t, seq});
+  handlers_.emplace(seq, std::move(h));
+  return EventId{seq};
+}
+
+EventId Kernel::schedule_in(Time delay, Handler h) {
+  HI_ASSERT_MSG(delay >= 0.0, "negative delay " << delay);
+  return schedule_at(now_ + delay, std::move(h));
+}
+
+void Kernel::cancel(EventId id) {
+  if (id.valid()) {
+    handlers_.erase(id.seq);
+  }
+}
+
+void Kernel::step(const QEntry& e) {
+  auto it = handlers_.find(e.seq);
+  if (it == handlers_.end()) {
+    return;  // cancelled
+  }
+  // Move the handler out before erasing so it may reschedule itself.
+  Handler h = std::move(it->second);
+  handlers_.erase(it);
+  now_ = e.t;
+  ++processed_;
+  h();
+}
+
+void Kernel::run_until(Time horizon) {
+  HI_ASSERT_MSG(horizon >= now_, "horizon " << horizon << " < now " << now_);
+  while (!queue_.empty() && queue_.top().t <= horizon) {
+    const QEntry e = queue_.top();
+    queue_.pop();
+    step(e);
+  }
+  now_ = horizon;
+}
+
+void Kernel::run_to_completion() {
+  while (!queue_.empty()) {
+    const QEntry e = queue_.top();
+    queue_.pop();
+    step(e);
+  }
+}
+
+}  // namespace hi::des

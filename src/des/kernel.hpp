@@ -1,0 +1,78 @@
+// hi-opt: discrete-event simulation kernel.
+//
+// A minimal, deterministic event scheduler in the style of OMNeT++ /
+// Castalia's core: events are (time, handler) pairs executed in
+// non-decreasing time order, with FIFO ordering among simultaneous
+// events (by scheduling sequence number) so runs are exactly
+// reproducible.  Cancellation is O(1) lazy: cancelled events stay in the
+// heap and are skipped on pop.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+namespace hi::des {
+
+/// Simulation time in seconds.
+using Time = double;
+
+/// Handle for a scheduled event, usable with Kernel::cancel().
+struct EventId {
+  std::uint64_t seq = 0;
+  [[nodiscard]] bool valid() const { return seq != 0; }
+};
+
+/// The event scheduler.  Not thread-safe; one kernel per simulation run.
+class Kernel {
+ public:
+  using Handler = std::function<void()>;
+
+  /// Current simulation time.
+  [[nodiscard]] Time now() const { return now_; }
+
+  /// Schedules `h` at absolute time `t >= now()`.  Returns a cancellable id.
+  EventId schedule_at(Time t, Handler h);
+
+  /// Schedules `h` after `delay >= 0` seconds.
+  EventId schedule_in(Time delay, Handler h);
+
+  /// Cancels a pending event; no-op if it already ran or was cancelled.
+  void cancel(EventId id);
+
+  /// Runs events with time <= horizon, then sets now() = horizon.
+  /// Handlers may schedule further events, including at the current time.
+  void run_until(Time horizon);
+
+  /// Runs until the event queue is empty.
+  void run_to_completion();
+
+  /// Number of events executed so far (cancelled events excluded).
+  [[nodiscard]] std::uint64_t events_processed() const { return processed_; }
+
+  /// Number of events currently pending (cancelled ones excluded).
+  [[nodiscard]] std::size_t events_pending() const { return handlers_.size(); }
+
+ private:
+  struct QEntry {
+    Time t;
+    std::uint64_t seq;
+    // Min-heap: earliest time first, then lowest sequence number.
+    bool operator>(const QEntry& o) const {
+      if (t != o.t) return t > o.t;
+      return seq > o.seq;
+    }
+  };
+
+  void step(const QEntry& e);
+
+  Time now_ = 0.0;
+  std::uint64_t next_seq_ = 1;  // 0 is the invalid EventId
+  std::uint64_t processed_ = 0;
+  std::priority_queue<QEntry, std::vector<QEntry>, std::greater<>> queue_;
+  std::unordered_map<std::uint64_t, Handler> handlers_;
+};
+
+}  // namespace hi::des

@@ -1,0 +1,155 @@
+#include "dse/algorithm1.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+
+#include "common/assert.hpp"
+#include "model/power.hpp"
+
+namespace hi::dse {
+
+ExplorationResult run_algorithm1(const model::Scenario& scenario,
+                                 Evaluator& eval,
+                                 const Algorithm1Options& opt) {
+  HI_REQUIRE(opt.pdr_min >= 0.0 && opt.pdr_min <= 1.0,
+             "pdr_min must be in [0,1], got " << opt.pdr_min);
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::uint64_t sims0 = eval.simulations();
+
+  MilpEncoding encoding(scenario);
+  ExplorationResult res;
+  bool have_best = false;
+
+  // Termination bounds (Sec. 3).  The paper stops when P̄*/α(S*) exceeds
+  // the incumbent's simulated power, with α = P̄/P̄lb the loss discount.
+  // Expressed per cell of the (Tx level, routing, N) grid and made sound
+  // for the whole remaining feasible set: stop when *every* cell the
+  // MILP could still propose (analytic cost above the current level) has
+  // P̄lb above the incumbent's simulated power.  The floor P̄lb is
+  // routing-free (see model::power_lower_bound_mw) and deflated by the
+  // evaluator's generation guard, which trims measured powers by the
+  // same factor.
+  struct CellBound {
+    double cost_mw;   ///< analytic P̄ of the cell, Eq. (9)
+    double floor_mw;  ///< P̄lb of the cell at PDRmin
+  };
+  std::vector<CellBound> cell_bounds;
+  {
+    const net::SimParams& sp = eval.settings().sim;
+    const double guard_deflation =
+        (sp.duration_s - sp.gen_guard_s) / sp.duration_s;
+    for (int lvl = 0; lvl < scenario.chip.num_tx_levels(); ++lvl) {
+      for (const auto rt :
+           {model::RoutingProtocol::kStar, model::RoutingProtocol::kMesh}) {
+        for (int n = scenario.min_nodes; n <= scenario.max_nodes; ++n) {
+          model::Topology t;
+          for (int i = 0; i < n; ++i) t.set(i, true);
+          const model::NetworkConfig cell = scenario.make_config(
+              t, lvl, model::MacProtocol::kCsma, rt);
+          cell_bounds.push_back(CellBound{
+              model::node_power_mw(cell),
+              guard_deflation * model::power_lower_bound_mw(
+                                    cell, opt.pdr_min, opt.alpha_kappa)});
+        }
+      }
+    }
+  }
+  // Smallest floor among cells strictly above the given analytic level;
+  // +inf when none remain.
+  const auto min_remaining_floor = [&](double level_mw) {
+    double lo = std::numeric_limits<double>::infinity();
+    for (const CellBound& c : cell_bounds) {
+      if (c.cost_mw > level_mw + 1e-12) {
+        lo = std::min(lo, c.floor_mw);
+      }
+    }
+    return lo;
+  };
+
+  for (res.iterations = 0; res.iterations < opt.max_iterations;
+       ++res.iterations) {
+    // ---- line 3: RunMILP --------------------------------------------------
+    const MilpRound round = encoding.run_milp(opt.milp);
+    res.milp_bnb_nodes += round.bnb_nodes;
+
+    // ---- line 4: infeasible problem ---------------------------------------
+    if (round.candidates.empty() && !have_best) {
+      res.feasible = false;
+      break;
+    }
+    // ---- line 5: α-termination / MILP dry ---------------------------------
+    if (round.candidates.empty()) {
+      break;  // S = {} with an incumbent: return S*
+    }
+    if (have_best && opt.use_alpha_termination) {
+      bool stop = false;
+      switch (opt.bound) {
+        case TerminationBound::kSoundFloor:
+          // Every cell at or above this level — including the one the
+          // MILP just proposed — must consume more than the incumbent
+          // even under maximal packet loss: no further simulation wins.
+          stop = min_remaining_floor(round.power_mw - 2.0 * 1e-12) >
+                 res.best_power_mw;
+          break;
+        case TerminationBound::kPaperAlpha: {
+          // Paper line 5: P̄* / α(S*, PDRmin) > P̄min with the uniform
+          // loss discount applied to the incumbent's cell.
+          const double p_best = model::node_power_mw(res.best);
+          const double lb = res.best.app.baseline_mw +
+                            opt.alpha_kappa * opt.pdr_min *
+                                (p_best - res.best.app.baseline_mw);
+          const double alpha = p_best / lb;
+          stop = round.power_mw / alpha > res.best_power_mw;
+          break;
+        }
+      }
+      if (stop) {
+        break;
+      }
+    }
+
+    // ---- line 7: RunSim ----------------------------------------------------
+    // ---- line 8: Sort (track the feasible minimum directly) ---------------
+    bool round_feasible = false;
+    model::NetworkConfig round_best;
+    double round_best_power = 0.0;
+    double round_best_pdr = 0.0;
+    double round_best_nlt = 0.0;
+    for (const model::NetworkConfig& cfg : round.candidates) {
+      const Evaluation& ev = eval.evaluate(cfg);
+      res.history.push_back(CandidateRecord{cfg, model::node_power_mw(cfg),
+                                            ev.pdr, ev.power_mw, ev.nlt_s});
+      if (ev.pdr >= opt.pdr_min &&
+          (!round_feasible || ev.power_mw < round_best_power)) {
+        round_feasible = true;
+        round_best = cfg;
+        round_best_power = ev.power_mw;
+        round_best_pdr = ev.pdr;
+        round_best_nlt = ev.nlt_s;
+      }
+    }
+
+    // ---- lines 9-10: update the incumbent ---------------------------------
+    if (round_feasible &&
+        (!have_best || res.best_power_mw >= round_best_power)) {
+      have_best = true;
+      res.feasible = true;
+      res.best = round_best;
+      res.best_power_mw = round_best_power;
+      res.best_pdr = round_best_pdr;
+      res.best_nlt_s = round_best_nlt;
+    }
+
+    // ---- line 11: Update — exclude the exhausted power level --------------
+    encoding.add_power_cut_above(round.power_mw);
+  }
+
+  res.simulations = eval.simulations() - sims0;
+  res.wall_time_s = std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+  return res;
+}
+
+}  // namespace hi::dse

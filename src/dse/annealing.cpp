@@ -1,0 +1,158 @@
+#include "dse/annealing.hpp"
+
+#include <chrono>
+#include <cmath>
+
+#include "common/assert.hpp"
+#include "model/power.hpp"
+
+namespace hi::dse {
+
+namespace {
+
+/// Discrete state of the annealer.
+struct State {
+  model::Topology topology;
+  int tx_level = 0;
+  model::MacProtocol mac = model::MacProtocol::kCsma;
+  model::RoutingProtocol routing = model::RoutingProtocol::kStar;
+};
+
+model::NetworkConfig to_config(const model::Scenario& sc, const State& s) {
+  return sc.make_config(s.topology, s.tx_level, s.mac, s.routing);
+}
+
+/// Proposes a feasibility-preserving random neighbour of `s`.
+State neighbour(const model::Scenario& sc, const State& s, Rng& rng) {
+  State next = s;
+  // Try a handful of times; a move that cannot produce a feasible state
+  // falls through to the (always feasible) protocol flips.
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    switch (rng.uniform_index(4)) {
+      case 0: {  // step the Tx power level
+        const int dir = rng.bernoulli(0.5) ? 1 : -1;
+        const int levels = sc.chip.num_tx_levels();
+        next.tx_level = ((s.tx_level + dir) % levels + levels) % levels;
+        return next;
+      }
+      case 1:  // flip MAC
+        next.mac = s.mac == model::MacProtocol::kCsma
+                       ? model::MacProtocol::kTdma
+                       : model::MacProtocol::kCsma;
+        return next;
+      case 2:  // flip routing (coordinator presence is enforced below)
+        next.routing = s.routing == model::RoutingProtocol::kStar
+                           ? model::RoutingProtocol::kMesh
+                           : model::RoutingProtocol::kStar;
+        if (next.routing == model::RoutingProtocol::kMesh ||
+            next.topology.has(sc.coordinator)) {
+          return next;
+        }
+        next = s;
+        break;
+      default: {  // toggle one location
+        const int loc =
+            static_cast<int>(rng.uniform_index(channel::kNumLocations));
+        next.topology.set(loc, !s.topology.has(loc));
+        if (sc.topology_feasible(next.topology) &&
+            (next.routing == model::RoutingProtocol::kMesh ||
+             next.topology.has(sc.coordinator))) {
+          return next;
+        }
+        next = s;
+        break;
+      }
+    }
+  }
+  return next;  // == s; the step is a no-op, acceptance is trivial
+}
+
+}  // namespace
+
+ExplorationResult run_annealing(const model::Scenario& scenario,
+                                Evaluator& eval,
+                                const AnnealingOptions& opt) {
+  HI_REQUIRE(opt.pdr_min >= 0.0 && opt.pdr_min <= 1.0,
+             "pdr_min must be in [0,1]");
+  HI_REQUIRE(opt.steps >= 1, "need at least one step");
+  HI_REQUIRE(opt.t_start_mw > 0.0 && opt.t_end_mw > 0.0 &&
+                 opt.t_start_mw >= opt.t_end_mw,
+             "temperatures must satisfy t_start >= t_end > 0");
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::uint64_t sims0 = eval.simulations();
+  Rng rng(opt.seed);
+
+  const auto energy = [&](const model::NetworkConfig& cfg,
+                          const Evaluation& ev) {
+    const double shortfall = std::max(0.0, opt.pdr_min - ev.pdr);
+    return ev.power_mw + opt.penalty_mw_per_pdr * shortfall;
+  };
+
+  // Random feasible starting state.
+  const std::vector<model::Topology> topologies =
+      scenario.feasible_topologies();
+  HI_REQUIRE(!topologies.empty(), "scenario has no feasible topology");
+  State cur;
+  cur.topology = topologies[rng.uniform_index(topologies.size())];
+  cur.tx_level = static_cast<int>(
+      rng.uniform_index(static_cast<std::uint64_t>(scenario.chip.num_tx_levels())));
+  cur.mac = rng.bernoulli(0.5) ? model::MacProtocol::kCsma
+                               : model::MacProtocol::kTdma;
+  cur.routing = cur.topology.has(scenario.coordinator) && rng.bernoulli(0.5)
+                    ? model::RoutingProtocol::kStar
+                    : model::RoutingProtocol::kMesh;
+
+  ExplorationResult res;
+  model::NetworkConfig cur_cfg = to_config(scenario, cur);
+  {
+    const Evaluation& ev = eval.evaluate(cur_cfg);
+    res.history.push_back(CandidateRecord{cur_cfg,
+                                          model::node_power_mw(cur_cfg),
+                                          ev.pdr, ev.power_mw, ev.nlt_s});
+    if (ev.pdr >= opt.pdr_min) {
+      res.feasible = true;
+      res.best = cur_cfg;
+      res.best_power_mw = ev.power_mw;
+      res.best_pdr = ev.pdr;
+      res.best_nlt_s = ev.nlt_s;
+    }
+  }
+  double cur_energy = energy(cur_cfg, eval.evaluate(cur_cfg));
+
+  const double decay =
+      std::pow(opt.t_end_mw / opt.t_start_mw, 1.0 / opt.steps);
+  double temperature = opt.t_start_mw;
+
+  for (res.iterations = 0; res.iterations < opt.steps; ++res.iterations) {
+    temperature *= decay;
+    const State cand = neighbour(scenario, cur, rng);
+    const model::NetworkConfig cand_cfg = to_config(scenario, cand);
+    const Evaluation& ev = eval.evaluate(cand_cfg);
+    res.history.push_back(CandidateRecord{cand_cfg,
+                                          model::node_power_mw(cand_cfg),
+                                          ev.pdr, ev.power_mw, ev.nlt_s});
+    if (ev.pdr >= opt.pdr_min &&
+        (!res.feasible || ev.power_mw < res.best_power_mw)) {
+      res.feasible = true;
+      res.best = cand_cfg;
+      res.best_power_mw = ev.power_mw;
+      res.best_pdr = ev.pdr;
+      res.best_nlt_s = ev.nlt_s;
+    }
+    const double cand_energy = energy(cand_cfg, ev);
+    const double delta = cand_energy - cur_energy;
+    if (delta <= 0.0 || rng.bernoulli(std::exp(-delta / temperature))) {
+      cur = cand;
+      cur_cfg = cand_cfg;
+      cur_energy = cand_energy;
+    }
+  }
+
+  res.simulations = eval.simulations() - sims0;
+  res.wall_time_s = std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+  return res;
+}
+
+}  // namespace hi::dse

@@ -1,0 +1,38 @@
+// hi-opt: simulated-annealing baseline (the paper compares Algorithm 1
+// against the general-purpose `simanneal` optimizer and reports a ~3x
+// speedup).
+//
+// State: one full design point.  Moves: step the Tx level, flip the MAC,
+// flip the routing scheme, or toggle one optional location (rejecting
+// mutations that break the topological constraints).  Energy: simulated
+// power plus a steep penalty proportional to the PDR shortfall below
+// PDRmin, so the annealer is pulled toward feasible low-power designs.
+// Cooling: exponential (Kirkpatrick) schedule from t_start to t_end.
+#pragma once
+
+#include "dse/evaluator.hpp"
+#include "dse/exploration.hpp"
+#include "model/design_space.hpp"
+
+namespace hi::dse {
+
+/// Annealer knobs.
+struct AnnealingOptions {
+  double pdr_min = 0.9;
+  int steps = 400;              ///< annealing iterations
+  double t_start_mw = 2.0;      ///< initial temperature (energy is in mW;
+                                ///< hot enough to cross the star->mesh
+                                ///< power barrier early on)
+  double t_end_mw = 0.005;      ///< final temperature
+  double penalty_mw_per_pdr = 50.0;  ///< infeasibility penalty slope
+  std::uint64_t seed = 7;       ///< annealer randomness (moves/acceptance)
+};
+
+/// Runs simulated annealing on `scenario`.  Simulations are counted via
+/// the evaluator (revisited states hit the cache and are not recounted,
+/// which favors the baseline).
+[[nodiscard]] ExplorationResult run_annealing(const model::Scenario& scenario,
+                                              Evaluator& eval,
+                                              const AnnealingOptions& opt);
+
+}  // namespace hi::dse

@@ -1,0 +1,39 @@
+#include "dse/exhaustive.hpp"
+
+#include <chrono>
+
+#include "common/assert.hpp"
+#include "model/power.hpp"
+
+namespace hi::dse {
+
+ExplorationResult run_exhaustive(const model::Scenario& scenario,
+                                 Evaluator& eval, double pdr_min) {
+  HI_REQUIRE(pdr_min >= 0.0 && pdr_min <= 1.0,
+             "pdr_min must be in [0,1], got " << pdr_min);
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::uint64_t sims0 = eval.simulations();
+
+  ExplorationResult res;
+  for (const model::NetworkConfig& cfg : scenario.feasible_configs()) {
+    const Evaluation& ev = eval.evaluate(cfg);
+    res.history.push_back(CandidateRecord{cfg, model::node_power_mw(cfg),
+                                          ev.pdr, ev.power_mw, ev.nlt_s});
+    ++res.iterations;
+    if (ev.pdr >= pdr_min &&
+        (!res.feasible || ev.power_mw < res.best_power_mw)) {
+      res.feasible = true;
+      res.best = cfg;
+      res.best_power_mw = ev.power_mw;
+      res.best_pdr = ev.pdr;
+      res.best_nlt_s = ev.nlt_s;
+    }
+  }
+  res.simulations = eval.simulations() - sims0;
+  res.wall_time_s = std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+  return res;
+}
+
+}  // namespace hi::dse

@@ -1,0 +1,21 @@
+// hi-opt: exhaustive-search baseline.
+//
+// Simulates every configuration satisfying the topological and
+// configuration constraints and returns the minimum-power one meeting
+// the reliability bound.  This is the ground truth Algorithm 1 is
+// compared against ("87% reduction in the number of required
+// simulations") and also the generator of Fig. 3's full scatter.
+#pragma once
+
+#include "dse/evaluator.hpp"
+#include "dse/exploration.hpp"
+#include "model/design_space.hpp"
+
+namespace hi::dse {
+
+/// Runs exhaustive search on `scenario` at the given reliability bound.
+[[nodiscard]] ExplorationResult run_exhaustive(const model::Scenario& scenario,
+                                               Evaluator& eval,
+                                               double pdr_min);
+
+}  // namespace hi::dse

@@ -1,0 +1,35 @@
+// hi-opt: common result types shared by the three explorers
+// (Algorithm 1, exhaustive search, simulated annealing).
+#pragma once
+
+#include <limits>
+#include <vector>
+
+#include "model/config.hpp"
+
+namespace hi::dse {
+
+/// One simulated design point (a row of Fig. 3's scatter).
+struct CandidateRecord {
+  model::NetworkConfig cfg;
+  double analytic_power_mw = 0.0;  ///< Eq. (9)
+  double sim_pdr = 0.0;            ///< Eq. (7), in [0,1]
+  double sim_power_mw = 0.0;       ///< worst lifetime-relevant node
+  double sim_nlt_s = 0.0;          ///< Eq. (4)
+};
+
+/// Outcome of one exploration run.
+struct ExplorationResult {
+  bool feasible = false;  ///< a configuration meeting PDRmin was found
+  model::NetworkConfig best;
+  double best_power_mw = std::numeric_limits<double>::infinity();
+  double best_pdr = 0.0;
+  double best_nlt_s = 0.0;
+  int iterations = 0;            ///< explorer-specific outer iterations
+  std::uint64_t simulations = 0; ///< distinct design points simulated
+  int milp_bnb_nodes = 0;        ///< Algorithm 1 only
+  double wall_time_s = 0.0;
+  std::vector<CandidateRecord> history;  ///< every simulated candidate
+};
+
+}  // namespace hi::dse

@@ -1,0 +1,284 @@
+#include "dse/milp_encoding.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "common/assert.hpp"
+#include "model/power.hpp"
+
+namespace hi::dse {
+
+double MilpEncoding::cell_cost_mw(int level, model::RoutingProtocol rt,
+                                  int n_nodes) const {
+  const model::RadioConfig radio = scenario_.chip.configure(level);
+  return scenario_.app.baseline_mw +
+         model::radio_power_mw(radio, scenario_.app, rt, n_nodes);
+}
+
+MilpEncoding::MilpEncoding(const model::Scenario& scenario)
+    : scenario_(scenario) {
+  HI_REQUIRE(scenario_.min_nodes >= 2, "need at least two nodes");
+  HI_REQUIRE(scenario_.max_nodes >= scenario_.min_nodes,
+             "max_nodes below min_nodes");
+  HI_REQUIRE(scenario_.max_nodes <= channel::kNumLocations,
+             "max_nodes exceeds the number of locations");
+
+  model_.set_objective(lp::Objective::kMinimize);
+
+  // --- Decision binaries ---------------------------------------------------
+  for (int i = 0; i < channel::kNumLocations; ++i) {
+    std::ostringstream name;
+    name << "n" << i;
+    n_vars_.push_back(model_.add_binary(0.0, name.str()));
+  }
+  for (int k = 0; k < scenario_.chip.num_tx_levels(); ++k) {
+    std::ostringstream name;
+    name << "p" << k + 1;
+    p_vars_.push_back(model_.add_binary(0.0, name.str()));
+  }
+  mac_var_ = model_.add_binary(0.0, "mac_tdma");
+  rt_star_var_ = model_.add_binary(0.0, "rt_star");
+  rt_mesh_var_ = model_.add_binary(0.0, "rt_mesh");
+  for (int n = scenario_.min_nodes; n <= scenario_.max_nodes; ++n) {
+    std::ostringstream name;
+    name << "zN" << n;
+    z_vars_.push_back(model_.add_binary(0.0, name.str()));
+  }
+
+  // --- Selection constraints ----------------------------------------------
+  {
+    std::vector<lp::Term> terms;
+    for (int p : p_vars_) terms.push_back({p, 1.0});
+    model_.add_constraint(terms, lp::Sense::kEqual, 1.0, "one_tx_level");
+  }
+  model_.add_constraint({{rt_star_var_, 1.0}, {rt_mesh_var_, 1.0}},
+                        lp::Sense::kEqual, 1.0, "one_routing");
+  {
+    std::vector<lp::Term> terms;
+    for (int z : z_vars_) terms.push_back({z, 1.0});
+    model_.add_constraint(terms, lp::Sense::kEqual, 1.0, "one_node_count");
+  }
+  {
+    // Σ n_i = Σ N z_N  links the count indicators to the placement.
+    std::vector<lp::Term> terms;
+    for (int n : n_vars_) terms.push_back({n, 1.0});
+    for (std::size_t zi = 0; zi < z_vars_.size(); ++zi) {
+      terms.push_back(
+          {z_vars_[zi], -static_cast<double>(scenario_.min_nodes +
+                                             static_cast<int>(zi))});
+    }
+    model_.add_constraint(terms, lp::Sense::kEqual, 0.0, "count_link");
+  }
+
+  // --- Topological constraints (Sec. 4.1) ----------------------------------
+  for (int loc : scenario_.required_locations) {
+    model_.add_constraint({{n_vars_[static_cast<std::size_t>(loc)], 1.0}},
+                          lp::Sense::kEqual, 1.0, "required");
+  }
+  for (const model::CoverageConstraint& c : scenario_.coverage) {
+    std::vector<lp::Term> terms;
+    for (int loc : c.locations) {
+      terms.push_back({n_vars_[static_cast<std::size_t>(loc)], 1.0});
+    }
+    model_.add_constraint(terms, lp::Sense::kGreaterEqual, 1.0, c.reason);
+  }
+  // Placement dependencies, the paper's n_j - n_i <= 0 example.
+  for (const model::DependencyConstraint& d : scenario_.dependencies) {
+    model_.add_constraint(
+        {{n_vars_[static_cast<std::size_t>(d.if_used)], 1.0},
+         {n_vars_[static_cast<std::size_t>(d.then_used)], -1.0}},
+        lp::Sense::kLessEqual, 0.0, d.reason);
+  }
+  // A star topology needs its coordinator placed: n_coor >= rt_star.
+  model_.add_constraint(
+      {{n_vars_[static_cast<std::size_t>(scenario_.coordinator)], 1.0},
+       {rt_star_var_, -1.0}},
+      lp::Sense::kGreaterEqual, 0.0, "star_coordinator");
+
+  // --- Cost linearization over the (level, routing, N) grid ----------------
+  std::vector<lp::Term> y_sum;
+  std::vector<std::vector<lp::Term>> by_level(
+      static_cast<std::size_t>(scenario_.chip.num_tx_levels()));
+  std::vector<lp::Term> by_star, by_mesh;
+  std::vector<std::vector<lp::Term>> by_count(z_vars_.size());
+  for (int k = 0; k < scenario_.chip.num_tx_levels(); ++k) {
+    for (const model::RoutingProtocol rt :
+         {model::RoutingProtocol::kStar, model::RoutingProtocol::kMesh}) {
+      const int rt_var = rt == model::RoutingProtocol::kStar ? rt_star_var_
+                                                             : rt_mesh_var_;
+      for (std::size_t zi = 0; zi < z_vars_.size(); ++zi) {
+        const int n_nodes = scenario_.min_nodes + static_cast<int>(zi);
+        std::ostringstream name;
+        name << "y_p" << k + 1 << "_" << model::to_string(rt) << "_N"
+             << n_nodes;
+        const int y = model_.add_product(
+            {p_vars_[static_cast<std::size_t>(k)], rt_var, z_vars_[zi]},
+            name.str());
+        const double cost = cell_cost_mw(k, rt, n_nodes);
+        model_.set_cost(y, cost);
+        cells_.push_back(Cell{y, cost});
+        y_sum.push_back({y, 1.0});
+        by_level[static_cast<std::size_t>(k)].push_back({y, 1.0});
+        (rt == model::RoutingProtocol::kStar ? by_star : by_mesh)
+            .push_back({y, 1.0});
+        by_count[zi].push_back({y, 1.0});
+      }
+    }
+  }
+  model_.add_constraint(y_sum, lp::Sense::kEqual, 1.0, "one_cell");
+  // Convexity rows: the cell mass on each factor value equals that
+  // factor's binary.  These make the LP relaxation nearly integral and
+  // cut the branch-and-bound tree by orders of magnitude.
+  for (int k = 0; k < scenario_.chip.num_tx_levels(); ++k) {
+    auto terms = by_level[static_cast<std::size_t>(k)];
+    terms.push_back({p_vars_[static_cast<std::size_t>(k)], -1.0});
+    model_.add_constraint(std::move(terms), lp::Sense::kEqual, 0.0,
+                          "cell_level_link");
+  }
+  {
+    auto star = by_star;
+    star.push_back({rt_star_var_, -1.0});
+    model_.add_constraint(std::move(star), lp::Sense::kEqual, 0.0,
+                          "cell_star_link");
+    auto mesh = by_mesh;
+    mesh.push_back({rt_mesh_var_, -1.0});
+    model_.add_constraint(std::move(mesh), lp::Sense::kEqual, 0.0,
+                          "cell_mesh_link");
+  }
+  for (std::size_t zi = 0; zi < z_vars_.size(); ++zi) {
+    auto terms = by_count[zi];
+    terms.push_back({z_vars_[zi], -1.0});
+    model_.add_constraint(std::move(terms), lp::Sense::kEqual, 0.0,
+                          "cell_count_link");
+  }
+
+  // --- Cut separation ε -----------------------------------------------------
+  std::set<double> costs;
+  for (const Cell& c : cells_) {
+    costs.insert(c.cost_mw);
+  }
+  double min_gap = *costs.rbegin() - *costs.begin();
+  if (costs.size() >= 2) {
+    double prev = *costs.begin();
+    for (auto it = std::next(costs.begin()); it != costs.end(); ++it) {
+      min_gap = std::min(min_gap, *it - prev);
+      prev = *it;
+    }
+    epsilon_mw_ = min_gap / 2.0;
+  } else {
+    epsilon_mw_ = std::max(1e-9, *costs.begin() * 1e-9);
+  }
+  HI_ASSERT(epsilon_mw_ > 0.0);
+}
+
+MilpRound MilpEncoding::run_milp(const milp::Options& opt,
+                                 int max_solutions) {
+  milp::Options effective = opt;
+  if (effective.branch_priority.empty()) {
+    // The objective is fully determined by (p, rt, z); settle those
+    // first, then the placement bits.
+    effective.branch_priority = p_vars_;
+    effective.branch_priority.push_back(rt_star_var_);
+    effective.branch_priority.push_back(rt_mesh_var_);
+    effective.branch_priority.insert(effective.branch_priority.end(),
+                                     z_vars_.begin(), z_vars_.end());
+  }
+  // One branch-and-bound solve pins the optimal power level P̄*.  The
+  // alternative optima are then expanded in closed form: P̄ depends only
+  // on the (Tx level, routing, N) cell, and the remaining degrees of
+  // freedom — the placement ν and the MAC bit — are constrained solely
+  // by the scenario's topological rules, which feasible_topologies()
+  // enumerates exactly.  (A general-purpose pool via no-good cuts exists
+  // in milp::solve_all_optimal; this expansion is the same set, computed
+  // without re-solving one MILP per alternative.)
+  const milp::Solution sol = milp::solve(model_, effective);
+  MilpRound round;
+  round.status = sol.status;
+  round.bnb_nodes = sol.nodes;
+  if (sol.status != lp::Status::kOptimal) {
+    return round;
+  }
+  round.power_mw = sol.objective;
+  for (const Cell& cell : cells_) {
+    if (std::fabs(cell.cost_mw - round.power_mw) > epsilon_mw_ / 2.0) {
+      continue;  // cell not at the optimal level (ties are all expanded)
+    }
+    // Reconstruct which (level, routing, N) this cell encodes.
+    const std::size_t idx = static_cast<std::size_t>(&cell - cells_.data());
+    const std::size_t per_level = 2 * z_vars_.size();
+    const int level = static_cast<int>(idx / per_level);
+    const auto rt = (idx % per_level) / z_vars_.size() == 0
+                        ? model::RoutingProtocol::kStar
+                        : model::RoutingProtocol::kMesh;
+    const int n_nodes =
+        scenario_.min_nodes + static_cast<int>(idx % z_vars_.size());
+    for (const model::Topology& t : scenario_.feasible_topologies()) {
+      if (t.count() != n_nodes) continue;
+      if (rt == model::RoutingProtocol::kStar &&
+          !t.has(scenario_.coordinator)) {
+        continue;
+      }
+      for (const auto mac :
+           {model::MacProtocol::kCsma, model::MacProtocol::kTdma}) {
+        round.candidates.push_back(scenario_.make_config(t, level, mac, rt));
+        if (static_cast<int>(round.candidates.size()) >= max_solutions) {
+          return round;
+        }
+      }
+    }
+  }
+  HI_ASSERT_MSG(!round.candidates.empty(),
+                "optimal MILP level " << round.power_mw
+                                      << " expanded to no configuration");
+  return round;
+}
+
+void MilpEncoding::add_power_cut_above(double level_mw) {
+  std::vector<lp::Term> terms;
+  terms.reserve(cells_.size());
+  for (const Cell& c : cells_) {
+    terms.push_back({c.y_var, c.cost_mw});
+  }
+  model_.add_constraint(std::move(terms), lp::Sense::kGreaterEqual,
+                        level_mw + epsilon_mw_, "power_cut");
+}
+
+model::NetworkConfig MilpEncoding::decode(
+    const std::vector<double>& x) const {
+  HI_REQUIRE(x.size() >= static_cast<std::size_t>(model_.num_variables()),
+             "decode: solution vector too short");
+  const auto is_one = [&](int v) {
+    return x[static_cast<std::size_t>(v)] > 0.5;
+  };
+  model::Topology topo;
+  for (int i = 0; i < channel::kNumLocations; ++i) {
+    topo.set(i, is_one(n_vars_[static_cast<std::size_t>(i)]));
+  }
+  int level = -1;
+  for (std::size_t k = 0; k < p_vars_.size(); ++k) {
+    if (is_one(p_vars_[k])) {
+      HI_ASSERT_MSG(level < 0, "multiple Tx levels selected");
+      level = static_cast<int>(k);
+    }
+  }
+  HI_ASSERT_MSG(level >= 0, "no Tx level selected");
+  const model::MacProtocol mac = is_one(mac_var_) ? model::MacProtocol::kTdma
+                                                  : model::MacProtocol::kCsma;
+  HI_ASSERT(is_one(rt_star_var_) != is_one(rt_mesh_var_));
+  const model::RoutingProtocol rt = is_one(rt_mesh_var_)
+                                        ? model::RoutingProtocol::kMesh
+                                        : model::RoutingProtocol::kStar;
+  return scenario_.make_config(topo, level, mac, rt);
+}
+
+std::vector<double> MilpEncoding::achievable_power_levels() const {
+  std::set<double> costs;
+  for (const Cell& c : cells_) {
+    costs.insert(c.cost_mw);
+  }
+  return {costs.begin(), costs.end()};
+}
+
+}  // namespace hi::dse

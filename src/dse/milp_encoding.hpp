@@ -1,0 +1,86 @@
+// hi-opt: MILP encoding of the relaxed problem P̃ (Sec. 3).
+//
+// Decision binaries:
+//   n_i   (i in 0..M-1)  — location i carries a node           (ν)
+//   p_k   (k per level)  — Tx power level selection, Σ p_k = 1 (χrd)
+//   mac   — 0 = CSMA, 1 = TDMA                                 (χMAC)
+//   rt_star / rt_mesh, rt_star + rt_mesh = 1                   (χrt)
+//   z_N   (N in [min_nodes, max_nodes]) — node-count indicator,
+//         Σ z_N = 1 and Σ n_i = Σ N z_N.
+//
+// The approximate power P̄ of Eq. (9) is nonlinear in (p, rt, N) — the
+// mesh term carries NreTx(N) = N²-4N+5 — so it is linearized exactly
+// over the finite (k, routing, N) grid: one product indicator
+// y[k][rt][N] = p_k ∧ rt ∧ z_N per cell, with P̄ = Σ cost(cell)·y(cell)
+// and Σ y = 1.  The MAC bit does not enter Eq. (9) (the coarse model
+// ignores MAC overheads), so the alternative-optimum pool naturally
+// enumerates both MAC options for each power-optimal cell.
+//
+// Algorithm 1's Update step (line 11) appends the cut  P̄ >= P̄* + ε
+// where ε is half the smallest gap between distinct cell costs, which
+// exactly removes the current optimum level and nothing more.
+#pragma once
+
+#include <vector>
+
+#include "milp/solver.hpp"
+#include "model/design_space.hpp"
+
+namespace hi::dse {
+
+/// Result of one RunMILP call: the set S of candidate configurations
+/// sharing the minimum approximate power P̄*.
+struct MilpRound {
+  lp::Status status = lp::Status::kInfeasible;
+  double power_mw = 0.0;  ///< P̄* (includes the baseline Pbl)
+  std::vector<model::NetworkConfig> candidates;  ///< decoded set S
+  int bnb_nodes = 0;  ///< branch-and-bound nodes spent this round
+};
+
+/// See file comment.  One encoding instance lives across all Algorithm-1
+/// iterations, accumulating power cuts.
+class MilpEncoding {
+ public:
+  explicit MilpEncoding(const model::Scenario& scenario);
+
+  /// Solves the current relaxed problem and decodes all optima.
+  [[nodiscard]] MilpRound run_milp(const milp::Options& opt = {},
+                                   int max_solutions = 4096);
+
+  /// Appends the cut P̄ >= level + ε (Update step).
+  void add_power_cut_above(double level_mw);
+
+  /// The cut separation ε (half the smallest distinct-cost gap).
+  [[nodiscard]] double epsilon_mw() const { return epsilon_mw_; }
+
+  /// Decodes a MILP solution vector into a design point.
+  [[nodiscard]] model::NetworkConfig decode(
+      const std::vector<double>& x) const;
+
+  /// All distinct achievable values of the approximate power P̄ over the
+  /// (tx level, routing, N) grid, ascending.  Useful for tests/benches.
+  [[nodiscard]] std::vector<double> achievable_power_levels() const;
+
+  [[nodiscard]] const milp::Model& model() const { return model_; }
+
+ private:
+  [[nodiscard]] double cell_cost_mw(int level, model::RoutingProtocol rt,
+                                    int n_nodes) const;
+
+  model::Scenario scenario_;
+  milp::Model model_;
+  std::vector<int> n_vars_;   ///< per location
+  std::vector<int> p_vars_;   ///< per Tx level
+  int mac_var_ = -1;
+  int rt_star_var_ = -1;
+  int rt_mesh_var_ = -1;
+  std::vector<int> z_vars_;   ///< per node count (min..max)
+  struct Cell {
+    int y_var;       ///< product indicator
+    double cost_mw;  ///< P̄ when this cell is active
+  };
+  std::vector<Cell> cells_;
+  double epsilon_mw_ = 0.0;
+};
+
+}  // namespace hi::dse

@@ -1,0 +1,72 @@
+#include "dse/report.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_set>
+
+#include "common/table.hpp"
+#include "common/units.hpp"
+
+namespace hi::dse {
+
+void write_history_csv(const ExplorationResult& result, std::ostream& os) {
+  os << "label,topology_mask,n_nodes,routing,mac,tx_dbm,analytic_power_mw,"
+        "sim_pdr,sim_power_mw,sim_nlt_days\n";
+  for (const CandidateRecord& r : result.history) {
+    os << '"' << r.cfg.label() << "\"," << r.cfg.topology.mask() << ','
+       << r.cfg.topology.count() << ','
+       << model::to_string(r.cfg.routing.protocol) << ','
+       << model::to_string(r.cfg.mac.protocol) << ','
+       << fmt_double(r.cfg.radio.tx_dbm, 0) << ','
+       << fmt_double(r.analytic_power_mw, 6) << ','
+       << fmt_double(r.sim_pdr, 6) << ',' << fmt_double(r.sim_power_mw, 6)
+       << ',' << fmt_double(seconds_to_days(r.sim_nlt_s), 4) << '\n';
+  }
+}
+
+std::string summarize(const ExplorationResult& result, double pdr_min) {
+  std::ostringstream oss;
+  if (!result.feasible) {
+    oss << "infeasible at PDRmin = " << fmt_percent(pdr_min) << " after "
+        << result.simulations << " simulations ("
+        << result.iterations << " iterations)";
+    return oss.str();
+  }
+  oss << result.best.label() << ": PDR " << fmt_percent(result.best_pdr)
+      << ", lifetime " << fmt_double(seconds_to_days(result.best_nlt_s), 1)
+      << " days, node power " << fmt_double(result.best_power_mw, 3)
+      << " mW; found with " << result.simulations << " simulations in "
+      << result.iterations << " iterations ("
+      << fmt_double(result.wall_time_s, 1) << " s)";
+  return oss.str();
+}
+
+std::vector<CandidateRecord> pareto_front(
+    const std::vector<CandidateRecord>& history) {
+  // Deduplicate by design key (annealing histories revisit states).
+  std::vector<CandidateRecord> pts;
+  std::unordered_set<std::uint64_t> seen;
+  for (const CandidateRecord& r : history) {
+    if (seen.insert(r.cfg.design_key()).second) {
+      pts.push_back(r);
+    }
+  }
+  // Sweep by descending PDR; a point survives if its NLT beats every
+  // higher-PDR point's NLT.
+  std::sort(pts.begin(), pts.end(), [](const auto& a, const auto& b) {
+    if (a.sim_pdr != b.sim_pdr) return a.sim_pdr > b.sim_pdr;
+    return a.sim_nlt_s > b.sim_nlt_s;
+  });
+  std::vector<CandidateRecord> front;
+  double best_nlt = -1.0;
+  for (const CandidateRecord& r : pts) {
+    if (r.sim_nlt_s > best_nlt) {
+      front.push_back(r);
+      best_nlt = r.sim_nlt_s;
+    }
+  }
+  std::reverse(front.begin(), front.end());  // ascending PDR
+  return front;
+}
+
+}  // namespace hi::dse

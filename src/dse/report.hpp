@@ -1,0 +1,31 @@
+// hi-opt: exploration-result reporting.
+//
+// Serializes an ExplorationResult to CSV (one row per simulated design
+// point — the raw data behind Fig. 3) and renders compact text
+// summaries.  Kept out of the explorers so they stay pure.
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "dse/exploration.hpp"
+
+namespace hi::dse {
+
+/// Writes `history` as CSV: label, topology mask, N, routing, MAC,
+/// tx_dbm, analytic_power_mw, sim_pdr, sim_power_mw, sim_nlt_days.
+void write_history_csv(const ExplorationResult& result, std::ostream& os);
+
+/// One-paragraph human summary of an exploration outcome.
+[[nodiscard]] std::string summarize(const ExplorationResult& result,
+                                    double pdr_min);
+
+/// Extracts the Pareto front of the (maximize PDR, maximize NLT)
+/// trade-off from an exploration history — the staircase a designer
+/// actually chooses from in Fig. 3.  Duplicate design points are
+/// collapsed; the result is sorted by ascending PDR (and therefore
+/// descending NLT).
+[[nodiscard]] std::vector<CandidateRecord> pareto_front(
+    const std::vector<CandidateRecord>& history);
+
+}  // namespace hi::dse

@@ -1,0 +1,97 @@
+#include "lp/problem.hpp"
+
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace hi::lp {
+
+int Problem::add_variable(double lower, double upper, double cost,
+                          std::string name) {
+  HI_REQUIRE(lower <= upper, "variable '" << name << "': lower bound " << lower
+                                          << " exceeds upper bound " << upper);
+  vars_.push_back(Variable{lower, upper, cost, std::move(name)});
+  return static_cast<int>(vars_.size()) - 1;
+}
+
+int Problem::add_constraint(std::vector<Term> terms, Sense sense, double rhs,
+                            std::string name) {
+  for (const Term& t : terms) {
+    HI_REQUIRE(t.var >= 0 && t.var < num_variables(),
+               "constraint '" << name << "': unknown variable index "
+                              << t.var);
+  }
+  rows_.push_back(Constraint{std::move(terms), sense, rhs, std::move(name)});
+  return static_cast<int>(rows_.size()) - 1;
+}
+
+void Problem::set_cost(int v, double cost) {
+  HI_REQUIRE(v >= 0 && v < num_variables(), "set_cost: bad variable " << v);
+  vars_[static_cast<std::size_t>(v)].cost = cost;
+}
+
+void Problem::set_bounds(int v, double lower, double upper) {
+  HI_REQUIRE(v >= 0 && v < num_variables(), "set_bounds: bad variable " << v);
+  HI_REQUIRE(lower <= upper, "set_bounds: lower " << lower << " > upper "
+                                                  << upper);
+  vars_[static_cast<std::size_t>(v)].lower = lower;
+  vars_[static_cast<std::size_t>(v)].upper = upper;
+}
+
+const Variable& Problem::variable(int v) const {
+  HI_REQUIRE(v >= 0 && v < num_variables(), "variable: bad index " << v);
+  return vars_[static_cast<std::size_t>(v)];
+}
+
+const Constraint& Problem::constraint(int r) const {
+  HI_REQUIRE(r >= 0 && r < num_constraints(), "constraint: bad index " << r);
+  return rows_[static_cast<std::size_t>(r)];
+}
+
+double Problem::objective_value(const std::vector<double>& x) const {
+  HI_REQUIRE(x.size() == vars_.size(),
+             "objective_value: point has " << x.size() << " coords, problem "
+                                           << vars_.size());
+  double v = 0.0;
+  for (std::size_t j = 0; j < vars_.size(); ++j) {
+    v += vars_[j].cost * x[j];
+  }
+  return v;
+}
+
+double Problem::row_violation(int r, const std::vector<double>& x,
+                              double tol) const {
+  const Constraint& c = constraint(r);
+  double lhs = 0.0;
+  for (const Term& t : c.terms) {
+    lhs += t.coeff * x[static_cast<std::size_t>(t.var)];
+  }
+  switch (c.sense) {
+    case Sense::kLessEqual:
+      return lhs > c.rhs + tol ? lhs - c.rhs : 0.0;
+    case Sense::kGreaterEqual:
+      return lhs < c.rhs - tol ? c.rhs - lhs : 0.0;
+    case Sense::kEqual:
+      return std::fabs(lhs - c.rhs) > tol ? std::fabs(lhs - c.rhs) : 0.0;
+  }
+  return 0.0;
+}
+
+bool Problem::is_feasible(const std::vector<double>& x, double tol) const {
+  if (x.size() != vars_.size()) {
+    return false;
+  }
+  for (std::size_t j = 0; j < vars_.size(); ++j) {
+    if (x[j] < vars_[j].lower - tol || x[j] > vars_[j].upper + tol) {
+      return false;
+    }
+  }
+  for (int r = 0; r < num_constraints(); ++r) {
+    if (row_violation(r, x, tol) > 0.0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace hi::lp

@@ -1,0 +1,101 @@
+// hi-opt: linear-program container.
+//
+// An hi::lp::Problem is a sparse statement of
+//
+//     min / max   c' x
+//     subject to  for each row:  a_r' x  (<= | = | >=)  b_r
+//                 lo_j <= x_j <= hi_j
+//
+// It is deliberately solver-agnostic: hi::lp::solve_simplex() consumes it
+// directly and hi::milp builds on it by marking variables integral and
+// re-solving with tightened bounds and added cuts.
+#pragma once
+
+#include <limits>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace hi::lp {
+
+/// Optimization direction.
+enum class Objective { kMinimize, kMaximize };
+
+/// Row comparison sense.
+enum class Sense { kLessEqual, kEqual, kGreaterEqual };
+
+/// +infinity bound marker.
+inline constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// One (variable index, coefficient) pair of a sparse row.
+struct Term {
+  int var = 0;
+  double coeff = 0.0;
+};
+
+/// A sparse linear constraint `sum(terms) sense rhs`.
+struct Constraint {
+  std::vector<Term> terms;
+  Sense sense = Sense::kLessEqual;
+  double rhs = 0.0;
+  std::string name;
+};
+
+/// Variable metadata.
+struct Variable {
+  double lower = 0.0;
+  double upper = kInf;
+  double cost = 0.0;  ///< objective coefficient
+  std::string name;
+};
+
+/// Sparse LP container; see file comment for semantics.
+class Problem {
+ public:
+  /// Adds a variable and returns its index.
+  int add_variable(double lower, double upper, double cost,
+                   std::string name = {});
+
+  /// Adds a constraint and returns its row index.  Duplicate variable
+  /// indices within one row are allowed and are summed by the solver.
+  int add_constraint(std::vector<Term> terms, Sense sense, double rhs,
+                     std::string name = {});
+
+  /// Sets the optimization direction (default: minimize).
+  void set_objective(Objective obj) { objective_ = obj; }
+
+  /// Replaces the objective coefficient of variable v.
+  void set_cost(int v, double cost);
+
+  /// Tightens/replaces the bounds of variable v.
+  void set_bounds(int v, double lower, double upper);
+
+  [[nodiscard]] Objective objective() const { return objective_; }
+  [[nodiscard]] int num_variables() const {
+    return static_cast<int>(vars_.size());
+  }
+  [[nodiscard]] int num_constraints() const {
+    return static_cast<int>(rows_.size());
+  }
+  [[nodiscard]] const Variable& variable(int v) const;
+  [[nodiscard]] const Constraint& constraint(int r) const;
+
+  /// Evaluates the objective at a point (no feasibility check).
+  [[nodiscard]] double objective_value(const std::vector<double>& x) const;
+
+  /// Returns the violation of row r at point x (0 when satisfied, positive
+  /// magnitude of violation otherwise).
+  [[nodiscard]] double row_violation(int r, const std::vector<double>& x,
+                                     double tol = 1e-7) const;
+
+  /// True when x satisfies all rows and bounds within tol.
+  [[nodiscard]] bool is_feasible(const std::vector<double>& x,
+                                 double tol = 1e-7) const;
+
+ private:
+  std::vector<Variable> vars_;
+  std::vector<Constraint> rows_;
+  Objective objective_ = Objective::kMinimize;
+};
+
+}  // namespace hi::lp

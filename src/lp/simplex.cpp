@@ -1,0 +1,401 @@
+#include "lp/simplex.hpp"
+
+#include <cmath>
+#include <cstddef>
+
+#include "common/assert.hpp"
+
+namespace hi::lp {
+
+const char* to_string(Status s) {
+  switch (s) {
+    case Status::kOptimal:
+      return "optimal";
+    case Status::kInfeasible:
+      return "infeasible";
+    case Status::kUnbounded:
+      return "unbounded";
+    case Status::kIterationLimit:
+      return "iteration-limit";
+  }
+  return "?";
+}
+
+namespace {
+
+/// How an original variable maps into standard-form column(s).
+struct VarMap {
+  enum class Kind { kShift, kMirror, kSplit } kind = Kind::kShift;
+  int col = -1;        ///< primary column
+  int col_neg = -1;    ///< negative part (kSplit only)
+  double offset = 0.0; ///< lo (kShift) or hi (kMirror)
+};
+
+/// Dense standard-form tableau  min c'y  s.t.  Ay = b, y >= 0, b >= 0.
+struct Tableau {
+  int m = 0;  ///< rows
+  int n = 0;  ///< columns (structural + slack + artificial)
+  std::vector<double> a;  ///< row-major m x n
+  std::vector<double> b;  ///< rhs, length m
+  std::vector<double> c;  ///< costs, length n
+  std::vector<int> basis; ///< basic column of each row
+  int first_artificial = 0;  ///< columns >= this are artificials
+
+  double& at(int r, int col) { return a[static_cast<std::size_t>(r) * n + col]; }
+  double at(int r, int col) const {
+    return a[static_cast<std::size_t>(r) * n + col];
+  }
+
+  void pivot(int pr, int pc) {
+    const double piv = at(pr, pc);
+    HI_ASSERT(std::fabs(piv) > 0.0);
+    const double inv = 1.0 / piv;
+    for (int j = 0; j < n; ++j) {
+      at(pr, j) *= inv;
+    }
+    b[pr] *= inv;
+    for (int r = 0; r < m; ++r) {
+      if (r == pr) continue;
+      const double f = at(r, pc);
+      if (f == 0.0) continue;
+      for (int j = 0; j < n; ++j) {
+        at(r, j) -= f * at(pr, j);
+      }
+      b[r] -= f * b[pr];
+      at(r, pc) = 0.0;  // kill residual rounding noise
+    }
+    basis[pr] = pc;
+  }
+};
+
+/// One phase of the simplex on reduced costs of `cost`.  Starts with
+/// Dantzig's rule (steepest reduced cost) for speed and falls back to
+/// Bland's rule (smallest index) after a stall budget, which guarantees
+/// termination on degenerate problems.  `allow_col(j)` gates which
+/// columns may enter.  Returns status and the iteration count through
+/// `iters`.
+template <typename AllowFn>
+Status run_phase(Tableau& t, const std::vector<double>& cost, double tol,
+                 int max_iters, int& iters, AllowFn allow_col) {
+  const int m = t.m;
+  const int n = t.n;
+  const int dantzig_budget = 20 * (m + n);
+  int phase_iters = 0;
+  // y[j] of basic vars is b[row]; reduced cost d_j = c_j - z_j where
+  // z_j = sum_r c_basis[r] * a[r][j].
+  std::vector<double> d(static_cast<std::size_t>(n));
+  for (;;) {
+    if (iters >= max_iters) {
+      return Status::kIterationLimit;
+    }
+    // Reduced costs.
+    for (int j = 0; j < n; ++j) {
+      d[j] = cost[static_cast<std::size_t>(j)];
+    }
+    for (int r = 0; r < m; ++r) {
+      const double cb = cost[static_cast<std::size_t>(t.basis[r])];
+      if (cb == 0.0) continue;
+      for (int j = 0; j < n; ++j) {
+        d[j] -= cb * t.at(r, j);
+      }
+    }
+    int enter = -1;
+    if (phase_iters < dantzig_budget) {
+      // Dantzig: most negative reduced cost.
+      double best = -tol;
+      for (int j = 0; j < n; ++j) {
+        if (!allow_col(j)) continue;
+        if (d[j] < best) {
+          best = d[j];
+          enter = j;
+        }
+      }
+    } else {
+      // Bland: smallest-index column with negative reduced cost.
+      for (int j = 0; j < n; ++j) {
+        if (!allow_col(j)) continue;
+        if (d[j] < -tol) {
+          enter = j;
+          break;
+        }
+      }
+    }
+    if (enter < 0) {
+      return Status::kOptimal;
+    }
+    ++phase_iters;
+    // Ratio test, Bland tie-break on basic variable index.
+    int leave = -1;
+    double best_ratio = 0.0;
+    for (int r = 0; r < m; ++r) {
+      const double arj = t.at(r, enter);
+      if (arj > tol) {
+        const double ratio = t.b[r] / arj;
+        if (leave < 0 || ratio < best_ratio - tol ||
+            (std::fabs(ratio - best_ratio) <= tol &&
+             t.basis[r] < t.basis[leave])) {
+          leave = r;
+          best_ratio = ratio;
+        }
+      }
+    }
+    if (leave < 0) {
+      return Status::kUnbounded;
+    }
+    t.pivot(leave, enter);
+    ++iters;
+  }
+}
+
+}  // namespace
+
+Solution solve_simplex(const Problem& p, const SimplexOptions& opt) {
+  const int nv = p.num_variables();
+  const double tol = opt.tol;
+
+  // ---- Build variable mapping and count standard-form columns. ----------
+  std::vector<VarMap> vmap(static_cast<std::size_t>(nv));
+  int ncols = 0;
+  int n_ub_rows = 0;  // upper-bound rows for doubly-bounded variables
+  for (int j = 0; j < nv; ++j) {
+    const Variable& v = p.variable(j);
+    VarMap& mpj = vmap[static_cast<std::size_t>(j)];
+    const bool lo_fin = std::isfinite(v.lower);
+    const bool hi_fin = std::isfinite(v.upper);
+    if (lo_fin) {
+      mpj.kind = VarMap::Kind::kShift;
+      mpj.offset = v.lower;
+      mpj.col = ncols++;
+      if (hi_fin) {
+        // Also needed when upper == lower: the row x' <= 0 pins the
+        // shifted variable, which is how fixed/branched binaries work.
+        ++n_ub_rows;
+      }
+    } else if (hi_fin) {
+      mpj.kind = VarMap::Kind::kMirror;
+      mpj.offset = v.upper;
+      mpj.col = ncols++;
+    } else {
+      mpj.kind = VarMap::Kind::kSplit;
+      mpj.col = ncols++;
+      mpj.col_neg = ncols++;
+    }
+  }
+  const int n_struct = ncols;
+
+  // Fixed variables (lower == upper) contribute constants only; their
+  // standard-form column has upper bound 0 and no upper-bound row, and the
+  // shift handles the value.
+  const int n_user_rows = p.num_constraints();
+  const int m = n_user_rows + n_ub_rows;
+
+  // Each row gets a slack/surplus or artificial; worst case one of each.
+  // Columns: structural + (slack per row) + (artificial per row).
+  Tableau t;
+  t.m = m;
+  t.n = n_struct + m /*slacks*/ + m /*artificials (allocated lazily)*/;
+  t.first_artificial = n_struct + m;
+  t.a.assign(static_cast<std::size_t>(t.m) * t.n, 0.0);
+  t.b.assign(static_cast<std::size_t>(t.m), 0.0);
+  t.c.assign(static_cast<std::size_t>(t.n), 0.0);
+  t.basis.assign(static_cast<std::size_t>(t.m), -1);
+
+  // Objective in minimize sense over standard columns.
+  const double sense_mult =
+      p.objective() == Objective::kMaximize ? -1.0 : 1.0;
+  double obj_const = 0.0;
+  for (int j = 0; j < nv; ++j) {
+    const Variable& v = p.variable(j);
+    const VarMap& mpj = vmap[static_cast<std::size_t>(j)];
+    const double cj = sense_mult * v.cost;
+    switch (mpj.kind) {
+      case VarMap::Kind::kShift:
+        t.c[static_cast<std::size_t>(mpj.col)] += cj;
+        obj_const += cj * mpj.offset;
+        break;
+      case VarMap::Kind::kMirror:
+        t.c[static_cast<std::size_t>(mpj.col)] -= cj;
+        obj_const += cj * mpj.offset;
+        break;
+      case VarMap::Kind::kSplit:
+        t.c[static_cast<std::size_t>(mpj.col)] += cj;
+        t.c[static_cast<std::size_t>(mpj.col_neg)] -= cj;
+        break;
+    }
+  }
+
+  // ---- Fill rows. --------------------------------------------------------
+  // Writes coefficient `coeff` of original variable `var` into row r and
+  // returns the rhs shift this mapping induces.
+  auto emit_term = [&](int r, int var, double coeff) -> double {
+    const VarMap& mpj = vmap[static_cast<std::size_t>(var)];
+    switch (mpj.kind) {
+      case VarMap::Kind::kShift:
+        t.at(r, mpj.col) += coeff;
+        return coeff * mpj.offset;
+      case VarMap::Kind::kMirror:
+        t.at(r, mpj.col) -= coeff;
+        return coeff * mpj.offset;
+      case VarMap::Kind::kSplit:
+        t.at(r, mpj.col) += coeff;
+        t.at(r, mpj.col_neg) -= coeff;
+        return 0.0;
+    }
+    return 0.0;
+  };
+
+  std::vector<Sense> row_sense(static_cast<std::size_t>(m));
+  for (int r = 0; r < n_user_rows; ++r) {
+    const Constraint& c = p.constraint(r);
+    double shift = 0.0;
+    for (const Term& term : c.terms) {
+      shift += emit_term(r, term.var, term.coeff);
+    }
+    t.b[r] = c.rhs - shift;
+    row_sense[static_cast<std::size_t>(r)] = c.sense;
+  }
+  // Upper-bound rows: x'_j <= hi - lo for doubly-bounded shifted vars.
+  {
+    int r = n_user_rows;
+    for (int j = 0; j < nv; ++j) {
+      const Variable& v = p.variable(j);
+      const VarMap& mpj = vmap[static_cast<std::size_t>(j)];
+      if (mpj.kind == VarMap::Kind::kShift && std::isfinite(v.upper)) {
+        t.at(r, mpj.col) = 1.0;
+        t.b[r] = v.upper - v.lower;
+        row_sense[static_cast<std::size_t>(r)] = Sense::kLessEqual;
+        ++r;
+      }
+    }
+    HI_ASSERT(r == m);
+  }
+
+  // Normalize to b >= 0 and install slack / artificial basis.
+  int n_art = 0;
+  for (int r = 0; r < m; ++r) {
+    Sense s = row_sense[static_cast<std::size_t>(r)];
+    if (t.b[r] < 0.0) {
+      for (int j = 0; j < n_struct; ++j) {
+        t.at(r, j) = -t.at(r, j);
+      }
+      t.b[r] = -t.b[r];
+      if (s == Sense::kLessEqual) {
+        s = Sense::kGreaterEqual;
+      } else if (s == Sense::kGreaterEqual) {
+        s = Sense::kLessEqual;
+      }
+    }
+    const int slack_col = n_struct + r;
+    switch (s) {
+      case Sense::kLessEqual:
+        t.at(r, slack_col) = 1.0;
+        t.basis[r] = slack_col;  // natural basis
+        break;
+      case Sense::kGreaterEqual:
+        t.at(r, slack_col) = -1.0;
+        break;
+      case Sense::kEqual:
+        break;
+    }
+    if (t.basis[r] < 0) {
+      const int art_col = t.first_artificial + n_art;
+      ++n_art;
+      t.at(r, art_col) = 1.0;
+      t.basis[r] = art_col;
+    }
+  }
+  const int n_used_cols = t.first_artificial + n_art;
+
+  Solution sol;
+  const int max_iters =
+      opt.max_iterations > 0 ? opt.max_iterations
+                             : 200 + 50 * (t.m + n_used_cols);
+  int iters = 0;
+
+  // ---- Phase 1 (only when artificials exist). -----------------------------
+  if (n_art > 0) {
+    std::vector<double> phase1_cost(static_cast<std::size_t>(t.n), 0.0);
+    for (int j = t.first_artificial; j < n_used_cols; ++j) {
+      phase1_cost[static_cast<std::size_t>(j)] = 1.0;
+    }
+    const Status st = run_phase(
+        t, phase1_cost, tol, max_iters, iters,
+        [&](int j) { return j < n_used_cols; });
+    if (st == Status::kIterationLimit) {
+      sol.status = st;
+      sol.iterations = iters;
+      return sol;
+    }
+    // Phase-1 objective = sum of artificial values.
+    double art_sum = 0.0;
+    for (int r = 0; r < t.m; ++r) {
+      if (t.basis[r] >= t.first_artificial) {
+        art_sum += t.b[r];
+      }
+    }
+    if (art_sum > opt.feas_tol) {
+      sol.status = Status::kInfeasible;
+      sol.iterations = iters;
+      return sol;
+    }
+    // Drive remaining basic artificials (value ~ 0) out of the basis.
+    for (int r = 0; r < t.m; ++r) {
+      if (t.basis[r] < t.first_artificial) continue;
+      int pc = -1;
+      for (int j = 0; j < t.first_artificial; ++j) {
+        if (std::fabs(t.at(r, j)) > tol) {
+          pc = j;
+          break;
+        }
+      }
+      if (pc >= 0) {
+        t.pivot(r, pc);
+      }
+      // else: redundant row; the artificial stays basic at 0 and is locked
+      // out of phase 2 by the allow_col gate below, so it stays at 0.
+    }
+  }
+
+  // ---- Phase 2. -----------------------------------------------------------
+  {
+    const Status st = run_phase(
+        t, t.c, tol, max_iters, iters,
+        [&](int j) { return j < t.first_artificial; });
+    sol.iterations = iters;
+    if (st != Status::kOptimal) {
+      sol.status = st;
+      return sol;
+    }
+  }
+
+  // ---- Extract the primal point in original space. ------------------------
+  std::vector<double> y(static_cast<std::size_t>(t.n), 0.0);
+  for (int r = 0; r < t.m; ++r) {
+    y[static_cast<std::size_t>(t.basis[r])] = t.b[r];
+  }
+  sol.x.assign(static_cast<std::size_t>(nv), 0.0);
+  for (int j = 0; j < nv; ++j) {
+    const VarMap& mpj = vmap[static_cast<std::size_t>(j)];
+    switch (mpj.kind) {
+      case VarMap::Kind::kShift:
+        sol.x[static_cast<std::size_t>(j)] =
+            mpj.offset + y[static_cast<std::size_t>(mpj.col)];
+        break;
+      case VarMap::Kind::kMirror:
+        sol.x[static_cast<std::size_t>(j)] =
+            mpj.offset - y[static_cast<std::size_t>(mpj.col)];
+        break;
+      case VarMap::Kind::kSplit:
+        sol.x[static_cast<std::size_t>(j)] =
+            y[static_cast<std::size_t>(mpj.col)] -
+            y[static_cast<std::size_t>(mpj.col_neg)];
+        break;
+    }
+  }
+  sol.objective = p.objective_value(sol.x);
+  sol.status = Status::kOptimal;
+  (void)obj_const;  // objective recomputed from x; constant not needed
+  return sol;
+}
+
+}  // namespace hi::lp

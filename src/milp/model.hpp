@@ -1,0 +1,75 @@
+// hi-opt: mixed-integer linear model.
+//
+// A thin layer over hi::lp::Problem that marks variables as continuous,
+// binary, or general-integer, and offers the linearization helpers the
+// DSE encoding needs (products of binaries).  Constraints can be added
+// after a solve — Algorithm 1 adds objective-level cuts between
+// iterations — because every solve starts from the model's current state.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lp/problem.hpp"
+
+namespace hi::milp {
+
+/// Variable integrality class.
+enum class VarType { kContinuous, kBinary, kInteger };
+
+/// Mixed-integer model; see file comment.
+class Model {
+ public:
+  /// Adds a continuous variable in [lower, upper] with the given objective
+  /// coefficient; returns its index.
+  int add_continuous(double lower, double upper, double cost,
+                     std::string name = {});
+
+  /// Adds a binary variable; returns its index.
+  int add_binary(double cost, std::string name = {});
+
+  /// Adds a general integer variable in [lower, upper]; returns its index.
+  int add_integer(double lower, double upper, double cost,
+                  std::string name = {});
+
+  /// Adds a linear constraint; returns its row index.
+  int add_constraint(std::vector<lp::Term> terms, lp::Sense sense, double rhs,
+                     std::string name = {});
+
+  /// Sets the optimization direction (default minimize).
+  void set_objective(lp::Objective obj) { lp_.set_objective(obj); }
+
+  /// Replaces the objective coefficient of a variable.
+  void set_cost(int v, double cost) { lp_.set_cost(v, cost); }
+
+  /// Adds a continuous variable y in [0,1] constrained to equal the AND
+  /// (product) of the given binary variables:
+  ///   y <= x_i for all i,   y >= sum(x_i) - (k-1).
+  /// With binary x the LP forces y to {0,1} at integral points, so y does
+  /// not need to be branched on.
+  int add_product(const std::vector<int>& binaries, std::string name = {});
+
+  /// Adds a no-good cut excluding the binary assignment `assignment`
+  /// restricted to the variables in `vars`:
+  ///   sum_{a_j=0} x_j + sum_{a_j=1} (1 - x_j) >= 1.
+  void add_no_good_cut(const std::vector<int>& vars,
+                       const std::vector<double>& assignment);
+
+  [[nodiscard]] const lp::Problem& lp() const { return lp_; }
+  [[nodiscard]] lp::Problem& lp() { return lp_; }
+  [[nodiscard]] VarType var_type(int v) const;
+  [[nodiscard]] int num_variables() const { return lp_.num_variables(); }
+  [[nodiscard]] int num_constraints() const { return lp_.num_constraints(); }
+
+  /// Indices of all binary variables, in creation order.
+  [[nodiscard]] std::vector<int> binary_variables() const;
+
+  /// Indices of all integral (binary + integer) variables.
+  [[nodiscard]] std::vector<int> integral_variables() const;
+
+ private:
+  lp::Problem lp_;
+  std::vector<VarType> types_;
+};
+
+}  // namespace hi::milp

@@ -1,0 +1,93 @@
+#include "model/design_space.hpp"
+
+#include "common/assert.hpp"
+
+namespace hi::model {
+
+bool Scenario::topology_feasible(const Topology& t) const {
+  const int n = t.count();
+  if (n < min_nodes || n > max_nodes) {
+    return false;
+  }
+  for (int loc : required_locations) {
+    if (!t.has(loc)) {
+      return false;
+    }
+  }
+  for (const CoverageConstraint& c : coverage) {
+    bool ok = false;
+    for (int loc : c.locations) {
+      if (t.has(loc)) {
+        ok = true;
+        break;
+      }
+    }
+    if (!ok) {
+      return false;
+    }
+  }
+  for (const DependencyConstraint& d : dependencies) {
+    if (t.has(d.if_used) && !t.has(d.then_used)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+NetworkConfig Scenario::make_config(const Topology& t, int tx_level,
+                                    MacProtocol mac,
+                                    RoutingProtocol routing) const {
+  HI_REQUIRE(8.0 * app.packet_bytes / chip.bit_rate_bps <= tdma_slot_s,
+             "a " << app.packet_bytes << "-byte packet takes "
+                  << 8.0 * app.packet_bytes / chip.bit_rate_bps
+                  << " s on the air but the TDMA slot is only "
+                  << tdma_slot_s << " s; enlarge Scenario::tdma_slot_s");
+  NetworkConfig cfg;
+  cfg.topology = t;
+  cfg.radio = chip.configure(tx_level);
+  cfg.tx_level_index = tx_level;
+  cfg.mac.protocol = mac;
+  cfg.mac.buffer_packets = mac_buffer_packets;
+  cfg.mac.slot_s = tdma_slot_s;
+  cfg.routing.protocol = routing;
+  cfg.routing.coordinator = coordinator;
+  cfg.routing.max_hops = max_hops;
+  cfg.app = app;
+  cfg.battery_j = battery_j;
+  return cfg;
+}
+
+std::vector<Topology> Scenario::feasible_topologies() const {
+  std::vector<Topology> out;
+  const std::uint16_t limit = 1u << channel::kNumLocations;
+  for (std::uint32_t mask = 0; mask < limit; ++mask) {
+    const Topology t = Topology::from_mask(static_cast<std::uint16_t>(mask));
+    if (topology_feasible(t)) {
+      out.push_back(t);
+    }
+  }
+  return out;
+}
+
+std::vector<NetworkConfig> Scenario::feasible_configs() const {
+  std::vector<NetworkConfig> out;
+  for (const Topology& t : feasible_topologies()) {
+    for (int lvl = 0; lvl < chip.num_tx_levels(); ++lvl) {
+      for (MacProtocol mac : {MacProtocol::kCsma, MacProtocol::kTdma}) {
+        for (RoutingProtocol rt :
+             {RoutingProtocol::kStar, RoutingProtocol::kMesh}) {
+          out.push_back(make_config(t, lvl, mac, rt));
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::size_t Scenario::raw_design_space_size() const {
+  return (std::size_t{1} << channel::kNumLocations) *
+         static_cast<std::size_t>(chip.num_tx_levels()) * 2 /*MAC*/ *
+         2 /*routing*/;
+}
+
+}  // namespace hi::model

@@ -1,0 +1,79 @@
+// hi-opt: the design-space description of the Sec. 4.1 experiment —
+// topological constraints, configuration options, and exhaustive
+// enumeration of the raw and feasible configuration sets.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "model/config.hpp"
+#include "model/library.hpp"
+
+namespace hi::model {
+
+/// An "at least one node among these locations" requirement
+/// (e.g. n1 + n2 >= 1 for gait analysis at the hip).
+struct CoverageConstraint {
+  std::vector<int> locations;
+  const char* reason = "";
+};
+
+/// A placement dependency, the paper's Sec. 2.1 example of an additional
+/// topological constraint: "location i be used if location j is used",
+/// written n_j - n_i <= 0.
+struct DependencyConstraint {
+  int if_used = 0;    ///< j: the trigger location
+  int then_used = 0;  ///< i: must also carry a node
+  const char* reason = "";
+};
+
+/// The full scenario: component library plus application requirements.
+/// Defaults reproduce the design example of Sec. 4.1.
+struct Scenario {
+  RadioChip chip = cc2650();
+  AppConfig app{};                 ///< 100 B @ 10 pkt/s, Pbl = 100 µW
+  double battery_j = 2430.0;       ///< CR2032: 225 mAh @ 3 V
+  int coordinator = 0;             ///< chest node doubles as star hub
+  int max_hops = 2;                ///< mesh flooding depth
+  double tdma_slot_s = 1e-3;
+  int mac_buffer_packets = 16;
+
+  /// Locations that must carry a node (paper: chest).
+  std::vector<int> required_locations{0};
+
+  /// At-least-one-of groups (paper: hip, foot, wrist pairs).
+  std::vector<CoverageConstraint> coverage{
+      {{1, 2}, "gait analysis (hip)"},
+      {{3, 4}, "gait analysis (foot)"},
+      {{5, 6}, "vital signs (wrist)"},
+  };
+
+  /// Placement dependencies (none in the paper's base example).
+  std::vector<DependencyConstraint> dependencies{};
+
+  /// Node-count window: the four required roles plus up to two extra
+  /// nodes for mesh connectivity.
+  int min_nodes = 4;
+  int max_nodes = 6;
+
+  /// True when ν satisfies all topological constraints.
+  [[nodiscard]] bool topology_feasible(const Topology& t) const;
+
+  /// Builds the full design point for the given discrete choices.
+  [[nodiscard]] NetworkConfig make_config(const Topology& t, int tx_level,
+                                          MacProtocol mac,
+                                          RoutingProtocol routing) const;
+
+  /// All topologies satisfying topology_feasible().
+  [[nodiscard]] std::vector<Topology> feasible_topologies() const;
+
+  /// All design points satisfying the topological + configuration
+  /// constraints (the exhaustive-search ground set).
+  [[nodiscard]] std::vector<NetworkConfig> feasible_configs() const;
+
+  /// Size of the raw design space before constraints:
+  /// 2^M topologies x |Tx levels| x |MAC| x |routing|  (paper: 12,288).
+  [[nodiscard]] std::size_t raw_design_space_size() const;
+};
+
+}  // namespace hi::model

@@ -1,0 +1,32 @@
+#include "model/library.hpp"
+
+#include "common/assert.hpp"
+
+namespace hi::model {
+
+RadioConfig RadioChip::configure(int index) const {
+  HI_REQUIRE(index >= 0 && index < num_tx_levels(),
+             "radio '" << name << "': bad Tx level index " << index);
+  RadioConfig cfg;
+  cfg.fc_hz = fc_hz;
+  cfg.bit_rate_bps = bit_rate_bps;
+  cfg.rx_dbm = rx_dbm;
+  cfg.rx_mw = rx_mw;
+  cfg.tx_dbm = tx_levels[static_cast<std::size_t>(index)].dbm;
+  cfg.tx_mw = tx_levels[static_cast<std::size_t>(index)].mw;
+  return cfg;
+}
+
+const RadioChip& cc2650() {
+  static const RadioChip chip{
+      "TI CC2650",
+      2.4e9,
+      1.024e6,
+      -97.0,
+      17.7,
+      {{-20.0, 9.55}, {-10.0, 11.56}, {0.0, 18.3}},
+  };
+  return chip;
+}
+
+}  // namespace hi::model

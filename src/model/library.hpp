@@ -1,0 +1,43 @@
+// hi-opt: the component library the mapping problem draws from
+// (platform-based design, Sec. 2): radio chips with their selectable Tx
+// power levels, and the MAC / routing protocol options implemented by the
+// simulator.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "model/config.hpp"
+
+namespace hi::model {
+
+/// One selectable transmitter power level of a radio chip.
+struct TxLevel {
+  double dbm = 0.0;  ///< output power
+  double mw = 0.0;   ///< transmitter power consumption at this level
+};
+
+/// A radio chip datasheet entry.
+struct RadioChip {
+  std::string name;
+  double fc_hz = 2.4e9;
+  double bit_rate_bps = 1.024e6;
+  double rx_dbm = -97.0;  ///< receiver sensitivity
+  double rx_mw = 17.7;    ///< receiver power consumption
+  std::vector<TxLevel> tx_levels;
+
+  /// Radio configuration with Tx level `index` selected.
+  [[nodiscard]] RadioConfig configure(int index) const;
+
+  /// Number of selectable Tx levels.
+  [[nodiscard]] int num_tx_levels() const {
+    return static_cast<int>(tx_levels.size());
+  }
+};
+
+/// The TI CC2650 used in the design example (paper Table 1):
+/// fc = 2.4 GHz, BR = 1024 kbps, Rx: -97 dBm @ 17.7 mW,
+/// Tx levels: (-20 dBm, 9.55 mW), (-10 dBm, 11.56 mW), (0 dBm, 18.3 mW).
+[[nodiscard]] const RadioChip& cc2650();
+
+}  // namespace hi::model

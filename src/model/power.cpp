@@ -1,0 +1,76 @@
+#include "model/power.hpp"
+
+#include "common/assert.hpp"
+#include "common/units.hpp"
+
+namespace hi::model {
+
+double packet_duration_s(const RadioConfig& radio, const AppConfig& app) {
+  HI_REQUIRE(radio.bit_rate_bps > 0.0, "bit rate must be positive");
+  HI_REQUIRE(app.packet_bytes > 0, "packet length must be positive");
+  return hi::packet_duration_s(app.packet_bytes, radio.bit_rate_bps);
+}
+
+double mesh_retx_bound(int n_nodes) {
+  HI_REQUIRE(n_nodes >= 2, "need at least two nodes, got " << n_nodes);
+  const double n = n_nodes;
+  return n * n - 4.0 * n + 5.0;
+}
+
+double per_round_radio_mw(const RadioConfig& radio, int n_nodes) {
+  HI_REQUIRE(n_nodes >= 2, "need at least two nodes, got " << n_nodes);
+  return radio.tx_mw + (n_nodes - 1) * radio.rx_mw;
+}
+
+double radio_power_mw(const RadioConfig& radio, const AppConfig& app,
+                      RoutingProtocol routing, int n_nodes) {
+  const double tpkt = packet_duration_s(radio, app);
+  const double duty = app.throughput_pps * tpkt;
+  if (routing == RoutingProtocol::kStar) {
+    return duty * (radio.tx_mw + 2.0 * (n_nodes - 1) * radio.rx_mw);
+  }
+  return duty * mesh_retx_bound(n_nodes) *
+         (radio.tx_mw + (n_nodes - 1) * radio.rx_mw);
+}
+
+double node_power_mw(const NetworkConfig& cfg) {
+  return cfg.app.baseline_mw +
+         radio_power_mw(cfg.radio, cfg.app, cfg.routing.protocol,
+                        cfg.topology.count());
+}
+
+double lifetime_s(double battery_j, double power_mw) {
+  HI_REQUIRE(battery_j > 0.0, "battery energy must be positive");
+  HI_REQUIRE(power_mw > 0.0, "power must be positive");
+  return battery_j / mw_to_w(power_mw);
+}
+
+double analytic_nlt_s(const NetworkConfig& cfg) {
+  return lifetime_s(cfg.battery_j, node_power_mw(cfg));
+}
+
+double power_lower_bound_mw(const NetworkConfig& cfg, double pdr_min,
+                            double kappa) {
+  HI_REQUIRE(pdr_min >= 0.0 && pdr_min <= 1.0,
+             "pdr_min must be in [0,1], got " << pdr_min);
+  HI_REQUIRE(kappa > 0.0 && kappa <= 1.0,
+             "kappa must be in (0,1], got " << kappa);
+  // Routing-free floor with undiscounted own transmissions (see header).
+  const int n = cfg.topology.count();
+  const double duty =
+      cfg.app.throughput_pps * packet_duration_s(cfg.radio, cfg.app);
+  return cfg.app.baseline_mw +
+         duty * (cfg.radio.tx_mw +
+                 kappa * pdr_min * 2.0 * (n - 1) * cfg.radio.rx_mw);
+}
+
+double alpha_factor(const NetworkConfig& cfg, double pdr_min, double kappa) {
+  const double p = node_power_mw(cfg);
+  const double lb = power_lower_bound_mw(cfg, pdr_min, kappa);
+  HI_ASSERT(lb > 0.0);
+  HI_ASSERT_MSG(p >= lb, "analytic power " << p << " below lower bound "
+                                           << lb);
+  return p / lb;
+}
+
+}  // namespace hi::model

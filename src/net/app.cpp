@@ -1,0 +1,62 @@
+#include "net/app.hpp"
+
+#include "common/assert.hpp"
+
+namespace hi::net {
+
+AppLayer::AppLayer(des::Kernel& kernel, Routing& routing,
+                   const model::AppConfig& cfg, std::vector<int> peers,
+                   Rng rng)
+    : kernel_(kernel),
+      routing_(routing),
+      cfg_(cfg),
+      peers_(std::move(peers)),
+      rng_(rng) {
+  HI_REQUIRE(cfg_.throughput_pps > 0.0, "throughput must be positive");
+  HI_REQUIRE(cfg_.packet_bytes > 0, "packet length must be positive");
+  HI_REQUIRE(!peers_.empty(), "node needs at least one peer");
+  for (int p : peers_) {
+    HI_REQUIRE(p >= 0 && p < channel::kNumLocations, "bad peer " << p);
+    HI_REQUIRE(p != routing_.location(), "node cannot peer with itself");
+  }
+  routing_.deliver = [this](int origin, std::uint32_t /*seq*/) {
+    HI_ASSERT(origin >= 0 && origin < channel::kNumLocations);
+    ++received_[static_cast<std::size_t>(origin)];
+  };
+  // Random round-robin start so pair sample counts stay balanced across
+  // the network even for short runs.
+  next_peer_ = rng_.uniform_index(peers_.size());
+}
+
+void AppLayer::start(double gen_end_s) {
+  gen_end_s_ = gen_end_s;
+  // Random phase in one period desynchronizes the sources.
+  const double period = 1.0 / cfg_.throughput_pps;
+  kernel_.schedule_in(rng_.uniform(0.0, period), [this] { generate(); });
+}
+
+void AppLayer::generate() {
+  if (kernel_.now() >= gen_end_s_) {
+    return;
+  }
+  const int dest = peers_[next_peer_];
+  next_peer_ = (next_peer_ + 1) % peers_.size();
+  ++sent_;
+  ++sent_to_[static_cast<std::size_t>(dest)];
+  routing_.originate(cfg_.packet_bytes, dest);
+  kernel_.schedule_in(1.0 / cfg_.throughput_pps, [this] { generate(); });
+}
+
+std::uint64_t AppLayer::sent_to(int dest) const {
+  HI_REQUIRE(dest >= 0 && dest < channel::kNumLocations,
+             "bad destination " << dest);
+  return sent_to_[static_cast<std::size_t>(dest)];
+}
+
+std::uint64_t AppLayer::received_from(int origin) const {
+  HI_REQUIRE(origin >= 0 && origin < channel::kNumLocations,
+             "bad origin " << origin);
+  return received_[static_cast<std::size_t>(origin)];
+}
+
+}  // namespace hi::net

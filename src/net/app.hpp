@@ -1,0 +1,63 @@
+// hi-opt: application layer.
+//
+// Abstracts the node's sensing/actuation function as a periodic packet
+// source (φ packets/s, Lpkt bytes each) with a random initial phase to
+// desynchronize nodes.  Each packet is addressed to one of the other
+// nodes, cycling round-robin (from a random start) so every ordered pair
+// (i, k) accumulates ~φ·Tsim/(N-1) samples.  Sequence numbers and
+// per-pair sent/received counts are the raw material of the PDR
+// estimate, Eqs. (6)-(7).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "channel/locations.hpp"
+#include "common/rng.hpp"
+#include "des/kernel.hpp"
+#include "model/config.hpp"
+#include "net/routing.hpp"
+
+namespace hi::net {
+
+/// See file comment.
+class AppLayer {
+ public:
+  /// `peers` are the other nodes' locations (packet destinations).
+  AppLayer(des::Kernel& kernel, Routing& routing, const model::AppConfig& cfg,
+           std::vector<int> peers, Rng rng);
+
+  AppLayer(const AppLayer&) = delete;
+  AppLayer& operator=(const AppLayer&) = delete;
+
+  /// Starts periodic generation; packets are generated while
+  /// now < gen_end (so late packets still have air time before the run
+  /// ends and the PDR estimate is not clipped).
+  void start(double gen_end_s);
+
+  /// Unique packets this node originated (all destinations).
+  [[nodiscard]] std::uint64_t sent() const { return sent_; }
+
+  /// N(s) this->dest: unique packets this node addressed to `dest`.
+  [[nodiscard]] std::uint64_t sent_to(int dest) const;
+
+  /// N(r) origin->this: unique packets received here from `origin`.
+  [[nodiscard]] std::uint64_t received_from(int origin) const;
+
+ private:
+  void generate();
+
+  des::Kernel& kernel_;
+  Routing& routing_;
+  model::AppConfig cfg_;
+  std::vector<int> peers_;
+  Rng rng_;
+  double gen_end_s_ = 0.0;
+  std::size_t next_peer_ = 0;
+  std::uint64_t sent_ = 0;
+  std::array<std::uint64_t, channel::kNumLocations> sent_to_{};
+  std::array<std::uint64_t, channel::kNumLocations> received_{};
+};
+
+}  // namespace hi::net

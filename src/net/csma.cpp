@@ -1,0 +1,61 @@
+#include "net/csma.hpp"
+
+#include "common/assert.hpp"
+
+namespace hi::net {
+
+CsmaMac::CsmaMac(des::Kernel& kernel, Radio& radio, int buffer_packets,
+                 const CsmaParams& params, Rng rng)
+    : Mac(kernel, radio, buffer_packets), params_(params), rng_(rng) {
+  HI_REQUIRE(params_.turnaround_s >= 0.0, "turnaround must be >= 0");
+  HI_REQUIRE(params_.backoff_max_s > 0.0, "backoff window must be positive");
+  radio_.on_tx_done = [this] {
+    attempt_pending_ = false;
+    if (!queue_.empty()) {
+      on_queue_not_empty();
+    }
+  };
+}
+
+void CsmaMac::on_queue_not_empty() {
+  if (attempt_pending_ || radio_.transmitting()) {
+    return;  // the running cycle will pick the packet up
+  }
+  attempt_pending_ = true;
+  try_send();
+}
+
+void CsmaMac::try_send() {
+  HI_ASSERT(attempt_pending_);
+  if (queue_.empty()) {
+    attempt_pending_ = false;
+    return;
+  }
+  if (radio_.channel_busy()) {
+    ++stats_.backoffs;
+    const double wait =
+        params_.access_mode == model::CsmaAccessMode::kNonPersistent
+            ? rng_.uniform(0.0, params_.backoff_max_s)
+            : params_.persistent_poll_s;
+    kernel_.schedule_in(wait, [this] { try_send(); });
+    return;
+  }
+  // Idle: commit to transmit after the turnaround without re-sensing —
+  // the CSMA vulnerability window.
+  kernel_.schedule_in(params_.turnaround_s, [this] { begin_transmission(); });
+}
+
+void CsmaMac::begin_transmission() {
+  HI_ASSERT(attempt_pending_);
+  if (queue_.empty()) {
+    attempt_pending_ = false;
+    return;
+  }
+  const Packet p = queue_.front();
+  queue_.pop_front();
+  ++stats_.sent;
+  radio_.transmit(p);
+  // attempt_pending_ stays true until on_tx_done fires.
+}
+
+}  // namespace hi::net

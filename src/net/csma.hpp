@@ -1,0 +1,45 @@
+// hi-opt: carrier-sense multiple access MAC.
+//
+// Non-persistent mode (the paper's TunableMAC configuration): when the
+// head-of-queue packet is ready, sense the medium; if busy, sleep for a
+// random backoff drawn uniformly from (0, backoff_max] and sense again;
+// if idle, transmit after a short rx/tx turnaround.  The turnaround is
+// the collision vulnerability window: two nodes that both sensed an idle
+// medium within it will collide, exactly the non-determinism the paper
+// attributes to CSMA.
+//
+// Persistent mode (ablation option): when busy, re-sense as soon as
+// possible (a short fixed poll), i.e. 1-persistent behaviour, which
+// raises the collision rate after a shared busy period.
+#pragma once
+
+#include "model/config.hpp"
+#include "net/mac.hpp"
+
+namespace hi::net {
+
+/// Tunable CSMA parameters.
+struct CsmaParams {
+  model::CsmaAccessMode access_mode = model::CsmaAccessMode::kNonPersistent;
+  double turnaround_s = 200e-6;   ///< sense-to-transmit switch time
+  double backoff_max_s = 5e-3;    ///< non-persistent backoff window
+  double persistent_poll_s = 100e-6;  ///< persistent re-sense period
+};
+
+/// See file comment.
+class CsmaMac final : public Mac {
+ public:
+  CsmaMac(des::Kernel& kernel, Radio& radio, int buffer_packets,
+          const CsmaParams& params, Rng rng);
+
+ private:
+  void on_queue_not_empty() override;
+  void try_send();
+  void begin_transmission();
+
+  CsmaParams params_;
+  Rng rng_;
+  bool attempt_pending_ = false;  ///< a sense/backoff/tx cycle is active
+};
+
+}  // namespace hi::net

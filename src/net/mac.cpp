@@ -1,0 +1,27 @@
+#include "net/mac.hpp"
+
+#include "common/assert.hpp"
+
+namespace hi::net {
+
+Mac::Mac(des::Kernel& kernel, Radio& radio, int buffer_packets)
+    : kernel_(kernel), radio_(radio), buffer_packets_(buffer_packets) {
+  HI_REQUIRE(buffer_packets_ > 0, "MAC buffer must hold at least one packet");
+  radio_.on_receive = [this](const Packet& p) {
+    if (on_receive) {
+      on_receive(p);
+    }
+  };
+}
+
+void Mac::enqueue(const Packet& p) {
+  ++stats_.enqueued;
+  if (queue_.size() >= static_cast<std::size_t>(buffer_packets_)) {
+    ++stats_.dropped_buffer;
+    return;
+  }
+  queue_.push_back(p);
+  on_queue_not_empty();
+}
+
+}  // namespace hi::net

@@ -1,0 +1,63 @@
+// hi-opt: MAC (data-link) layer interface and shared queueing base.
+//
+// The component library offers two protocols (Sec. 2.1.2):
+//   * CSMA (TunableMAC-style, non-persistent by default): sense before
+//     transmit, back off for a random time when the medium is busy;
+//   * TDMA: 1 ms slots assigned round-robin, exclusive medium access.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "common/rng.hpp"
+#include "des/kernel.hpp"
+#include "net/packet.hpp"
+#include "net/radio.hpp"
+
+namespace hi::net {
+
+/// MAC-level counters.
+struct MacStats {
+  std::uint64_t enqueued = 0;
+  std::uint64_t sent = 0;
+  std::uint64_t dropped_buffer = 0;  ///< buffer BMAC overflowed
+  std::uint64_t backoffs = 0;        ///< CSMA: medium sensed busy
+};
+
+/// Abstract MAC.  The routing layer enqueues packets; each concrete MAC
+/// decides *when* the radio transmits them.  Received packets flow from
+/// the radio straight to `on_receive` (set by the routing layer).
+class Mac {
+ public:
+  Mac(des::Kernel& kernel, Radio& radio, int buffer_packets);
+  virtual ~Mac() = default;
+
+  Mac(const Mac&) = delete;
+  Mac& operator=(const Mac&) = delete;
+
+  /// Called once at simulation start.
+  virtual void start() {}
+
+  /// Accepts a packet from the routing layer; drops it (counted) when the
+  /// buffer is full.
+  void enqueue(const Packet& p);
+
+  /// Callback for packets decoded by the radio (set by routing).
+  std::function<void(const Packet&)> on_receive;
+
+  [[nodiscard]] const MacStats& stats() const { return stats_; }
+  [[nodiscard]] std::size_t queue_depth() const { return queue_.size(); }
+
+ protected:
+  /// Hook: new packet available; concrete MAC schedules a transmission.
+  virtual void on_queue_not_empty() = 0;
+
+  des::Kernel& kernel_;
+  Radio& radio_;
+  int buffer_packets_;
+  std::deque<Packet> queue_;
+  MacStats stats_;
+};
+
+}  // namespace hi::net

@@ -1,0 +1,45 @@
+#include "net/medium.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "net/radio.hpp"
+
+namespace hi::net {
+
+Medium::Medium(des::Kernel& kernel, channel::ChannelModel& channel)
+    : kernel_(kernel), channel_(channel) {}
+
+void Medium::attach(Radio* radio) {
+  HI_REQUIRE(radio != nullptr, "attach: null radio");
+  HI_REQUIRE(std::none_of(radios_.begin(), radios_.end(),
+                          [&](const Radio* r) {
+                            return r->location() == radio->location();
+                          }),
+             "attach: duplicate radio at location " << radio->location());
+  radios_.push_back(radio);
+}
+
+void Medium::begin_transmission(const Radio& tx, const Packet& p,
+                                double duration_s) {
+  const std::uint64_t tx_id = next_tx_id_++;
+  ++stats_.transmissions;
+  const double now = kernel_.now();
+  for (Radio* rx : radios_) {
+    if (rx->location() == tx.location()) {
+      continue;
+    }
+    const double pl =
+        channel_.path_loss_db(tx.location(), rx->location(), now);
+    const double rx_dbm = tx.params().tx_dbm - pl;
+    if (rx_dbm < rx->params().sensitivity_dbm) {
+      ++stats_.below_sensitivity;
+      continue;
+    }
+    ++stats_.deliveries_offered;
+    rx->signal_start(tx_id, rx_dbm, p);
+    kernel_.schedule_in(duration_s, [rx, tx_id] { rx->signal_end(tx_id); });
+  }
+}
+
+}  // namespace hi::net

@@ -1,0 +1,57 @@
+// hi-opt: the shared wireless medium around the body.
+//
+// The Medium connects every Radio through the (time-varying) channel
+// model: when a radio transmits, each other radio's instantaneous receive
+// power is  TxdBm - PL(i,j,t), sampled once at transmission start (the
+// fade is effectively constant over a <1 ms packet).  Radios whose
+// receive power clears their sensitivity get signal_start/signal_end
+// callbacks; the rest never hear the packet (counted as propagation
+// losses).  This mirrors the paper's successful-reception condition
+// TxdBm >= RxdBm + PL(i,j,t).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "channel/channel.hpp"
+#include "des/kernel.hpp"
+#include "net/packet.hpp"
+
+namespace hi::net {
+
+class Radio;
+
+/// Medium-wide counters.
+struct MediumStats {
+  std::uint64_t transmissions = 0;      ///< physical transmissions started
+  std::uint64_t deliveries_offered = 0; ///< (tx, rx) pairs above sensitivity
+  std::uint64_t below_sensitivity = 0;  ///< (tx, rx) pairs lost to path loss
+};
+
+/// See file comment.  One Medium per simulation run.
+class Medium {
+ public:
+  Medium(des::Kernel& kernel, channel::ChannelModel& channel);
+
+  Medium(const Medium&) = delete;
+  Medium& operator=(const Medium&) = delete;
+
+  /// Registers a radio; all registered radios hear each other's
+  /// transmissions (subject to path loss).
+  void attach(Radio* radio);
+
+  /// Starts a transmission from `tx`: distributes signal_start to every
+  /// audible receiver and schedules the matching signal_end calls.
+  void begin_transmission(const Radio& tx, const Packet& p, double duration_s);
+
+  [[nodiscard]] const MediumStats& stats() const { return stats_; }
+
+ private:
+  des::Kernel& kernel_;
+  channel::ChannelModel& channel_;
+  std::vector<Radio*> radios_;
+  std::uint64_t next_tx_id_ = 1;
+  MediumStats stats_;
+};
+
+}  // namespace hi::net

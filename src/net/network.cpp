@@ -1,0 +1,213 @@
+#include "net/network.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "common/units.hpp"
+#include "net/app.hpp"
+#include "net/routing.hpp"
+#include "net/tdma.hpp"
+
+namespace hi::net {
+
+namespace {
+
+/// One fully wired node.  Construction order matters: radio -> MAC ->
+/// routing -> app, each layer installing its callbacks into the one below.
+struct NodeBundle {
+  NodeBundle(des::Kernel& kernel, Medium& medium, int loc,
+             const model::NetworkConfig& cfg, const SimParams& params,
+             int slot_index, int num_slots, std::vector<int> peers, Rng rng)
+      : location(loc),
+        radio(kernel, medium, loc, make_radio_params(cfg, params)) {
+    medium.attach(&radio);
+    if (cfg.mac.protocol == model::MacProtocol::kCsma) {
+      CsmaParams cs = params.csma;
+      cs.access_mode = cfg.mac.access_mode;
+      mac = std::make_unique<CsmaMac>(kernel, radio, cfg.mac.buffer_packets,
+                                      cs, rng.fork("csma"));
+    } else {
+      TdmaParams td;
+      td.slot_s = cfg.mac.slot_s;
+      td.slot_index = slot_index;
+      td.num_slots = num_slots;
+      mac = std::make_unique<TdmaMac>(kernel, radio, cfg.mac.buffer_packets,
+                                      td);
+    }
+    if (cfg.routing.protocol == model::RoutingProtocol::kStar) {
+      routing = std::make_unique<StarRouting>(*mac, loc,
+                                              cfg.routing.coordinator);
+    } else {
+      routing = std::make_unique<MeshRouting>(*mac, loc,
+                                              cfg.routing.max_hops);
+    }
+    app = std::make_unique<AppLayer>(kernel, *routing, cfg.app,
+                                     std::move(peers), rng.fork("app"));
+  }
+
+  static RadioParams make_radio_params(const model::NetworkConfig& cfg,
+                                       const SimParams& params) {
+    RadioParams rp;
+    rp.tx_dbm = cfg.radio.tx_dbm;
+    rp.tx_mw = cfg.radio.tx_mw;
+    rp.sensitivity_dbm = cfg.radio.rx_dbm;
+    rp.rx_mw = cfg.radio.rx_mw;
+    rp.bit_rate_bps = cfg.radio.bit_rate_bps;
+    rp.capture_db = params.capture_db;
+    return rp;
+  }
+
+  int location;
+  Radio radio;
+  std::unique_ptr<Mac> mac;
+  std::unique_ptr<Routing> routing;
+  std::unique_ptr<AppLayer> app;
+};
+
+}  // namespace
+
+SimResult simulate(const model::NetworkConfig& cfg,
+                   channel::ChannelModel& channel, const SimParams& params) {
+  const std::vector<int> locs = cfg.topology.locations();
+  const int n = static_cast<int>(locs.size());
+  HI_REQUIRE(n >= 2, "simulate: need at least 2 nodes, topology has " << n);
+  HI_REQUIRE(params.duration_s > params.gen_guard_s,
+             "simulate: duration " << params.duration_s
+                                   << " s must exceed the generation guard "
+                                   << params.gen_guard_s << " s");
+  if (cfg.routing.protocol == model::RoutingProtocol::kStar) {
+    HI_REQUIRE(cfg.topology.has(cfg.routing.coordinator),
+               "star coordinator location " << cfg.routing.coordinator
+                                            << " carries no node");
+  }
+
+  des::Kernel kernel;
+  Medium medium(kernel, channel);
+  Rng root(params.seed);
+
+  std::vector<std::unique_ptr<NodeBundle>> nodes;
+  nodes.reserve(static_cast<std::size_t>(n));
+  for (int k = 0; k < n; ++k) {
+    const int loc = locs[static_cast<std::size_t>(k)];
+    std::vector<int> peers;
+    peers.reserve(static_cast<std::size_t>(n) - 1);
+    for (int other : locs) {
+      if (other != loc) peers.push_back(other);
+    }
+    nodes.push_back(std::make_unique<NodeBundle>(
+        kernel, medium, loc, cfg, params,
+        /*slot_index=*/k, /*num_slots=*/n, std::move(peers),
+        root.fork(static_cast<std::uint64_t>(loc))));
+  }
+
+  const double gen_end = params.duration_s - params.gen_guard_s;
+  for (auto& nb : nodes) {
+    nb->mac->start();
+    nb->app->start(gen_end);
+  }
+  kernel.run_until(params.duration_s);
+
+  // ---- Metrics ------------------------------------------------------------
+  SimResult res;
+  res.duration_s = params.duration_s;
+  res.medium = medium.stats();
+  res.events = kernel.events_processed();
+
+  RunningStats pdr_nodes;
+  for (const auto& nb : nodes) {
+    NodeResult nr;
+    nr.location = nb->location;
+    nr.app_sent = nb->app->sent();
+    nr.radio = nb->radio.stats();
+    nr.mac = nb->mac->stats();
+    nr.routing = nb->routing->stats();
+    nr.power_mw = cfg.app.baseline_mw +
+                  (nb->radio.tx_energy_mj() + nb->radio.rx_energy_mj()) /
+                      params.duration_s;
+    // Eq. (6): average per-pair delivery ratio over the other N-1
+    // origins, using per-pair sent counts N(s) i->k.
+    double acc = 0.0;
+    int terms = 0;
+    for (const auto& other : nodes) {
+      if (other->location == nb->location) continue;
+      const std::uint64_t sent = other->app->sent_to(nb->location);
+      if (sent == 0) continue;  // degenerate ultra-short run
+      acc += static_cast<double>(nb->app->received_from(other->location)) /
+             static_cast<double>(sent);
+      ++terms;
+    }
+    nr.pdr = terms > 0 ? acc / terms : 0.0;
+    pdr_nodes.add(nr.pdr);
+    res.nodes.push_back(nr);
+  }
+  res.pdr = pdr_nodes.mean();  // Eq. (7)
+
+  // Lifetime, Eq. (4): the star coordinator has its own larger energy
+  // store (paper Sec. 4.1) and is excluded; in a mesh all nodes count.
+  RunningStats powers;
+  double worst = 0.0;
+  for (const NodeResult& nr : res.nodes) {
+    const bool is_coordinator =
+        cfg.routing.protocol == model::RoutingProtocol::kStar &&
+        nr.location == cfg.routing.coordinator;
+    if (is_coordinator) continue;
+    powers.add(nr.power_mw);
+    worst = std::max(worst, nr.power_mw);
+  }
+  res.worst_power_mw = worst;
+  res.mean_power_mw = powers.mean();
+  res.nlt_s = worst > 0.0 ? cfg.battery_j / mw_to_w(worst) : 0.0;
+  return res;
+}
+
+ChannelFactory default_channel_factory() {
+  return [](std::uint64_t seed) {
+    return channel::make_default_body_channel(seed);
+  };
+}
+
+SimResult simulate_averaged(const model::NetworkConfig& cfg,
+                            const SimParams& params, int runs,
+                            const ChannelFactory& make_channel,
+                            RunningStats* pdr_spread,
+                            RunningStats* power_spread) {
+  HI_REQUIRE(runs >= 1, "simulate_averaged: need at least one run");
+  Rng seeder(params.seed);
+  Rng channel_seeder(params.channel_seed != 0 ? params.channel_seed
+                                              : params.seed);
+  SimResult first;
+  RunningStats pdr_acc, worst_acc, mean_acc, nlt_events;
+  double events_total = 0.0;
+  for (int r = 0; r < runs; ++r) {
+    SimParams run_params = params;
+    run_params.seed = seeder.fork(static_cast<std::uint64_t>(r)).next_u64();
+    auto channel = make_channel(
+        channel_seeder.fork(static_cast<std::uint64_t>(r)).next_u64() ^
+        0xC0FFEE);
+    const SimResult one = simulate(cfg, *channel, run_params);
+    if (r == 0) {
+      first = one;
+    }
+    pdr_acc.add(one.pdr);
+    worst_acc.add(one.worst_power_mw);
+    mean_acc.add(one.mean_power_mw);
+    events_total += static_cast<double>(one.events);
+  }
+  if (pdr_spread != nullptr) {
+    *pdr_spread = pdr_acc;
+  }
+  if (power_spread != nullptr) {
+    *power_spread = worst_acc;
+  }
+  SimResult avg = first;
+  avg.pdr = pdr_acc.mean();
+  avg.worst_power_mw = worst_acc.mean();
+  avg.mean_power_mw = mean_acc.mean();
+  avg.nlt_s = avg.worst_power_mw > 0.0
+                  ? cfg.battery_j / mw_to_w(avg.worst_power_mw)
+                  : 0.0;
+  avg.events = static_cast<std::uint64_t>(events_total);
+  return avg;
+}
+
+}  // namespace hi::net

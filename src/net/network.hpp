@@ -1,0 +1,85 @@
+// hi-opt: whole-network simulation — the RunSim of Algorithm 1.
+//
+// Builds one node per topology location (radio + MAC + routing + app),
+// wires them through a shared Medium/channel, runs the event kernel for
+// Tsim seconds, and evaluates the paper's performance metrics:
+// per-node and network PDR (Eqs. 6-7) and per-node power / network
+// lifetime (Eq. 4).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "channel/channel.hpp"
+#include "common/stats.hpp"
+#include "model/config.hpp"
+#include "net/csma.hpp"
+#include "net/medium.hpp"
+#include "net/routing.hpp"
+
+namespace hi::net {
+
+/// Simulation controls.
+struct SimParams {
+  double duration_s = 600.0;  ///< Tsim (paper: 600 s)
+  double gen_guard_s = 1.0;   ///< stop generating this early so in-flight
+                              ///< packets can land before the run ends
+  std::uint64_t seed = 1;     ///< randomness root for this run
+  /// Root for the channel realization in simulate_averaged.  0 derives it
+  /// from `seed`; a nonzero value decouples the fades from the node
+  /// randomness, so different configurations evaluated with the same
+  /// channel_seed face the *same* fade trajectories — common random
+  /// numbers, which sharpens configuration comparisons dramatically at
+  /// short Tsim.
+  std::uint64_t channel_seed = 0;
+  double capture_db = 10.0;   ///< radio capture threshold
+  CsmaParams csma{};          ///< CSMA timing (access mode comes from cfg)
+};
+
+/// Per-node outcome of a run.
+struct NodeResult {
+  int location = 0;
+  double pdr = 0.0;       ///< Eq. (6)
+  double power_mw = 0.0;  ///< baseline + measured radio energy / Tsim
+  std::uint64_t app_sent = 0;
+  RadioStats radio;
+  MacStats mac;
+  RoutingStats routing;
+};
+
+/// Whole-run outcome.
+struct SimResult {
+  double pdr = 0.0;              ///< Eq. (7), in [0,1]
+  double worst_power_mw = 0.0;   ///< max power among lifetime-relevant nodes
+  double mean_power_mw = 0.0;    ///< mean over lifetime-relevant nodes
+  double nlt_s = 0.0;            ///< Eq. (4)
+  double duration_s = 0.0;
+  std::vector<NodeResult> nodes;
+  MediumStats medium;
+  std::uint64_t events = 0;      ///< kernel events executed
+};
+
+/// Runs one simulation of `cfg` over the given instantaneous channel.
+[[nodiscard]] SimResult simulate(const model::NetworkConfig& cfg,
+                                 channel::ChannelModel& channel,
+                                 const SimParams& params);
+
+/// Produces a fresh channel for a run; receives the run's seed.
+using ChannelFactory =
+    std::function<std::unique_ptr<channel::ChannelModel>(std::uint64_t seed)>;
+
+/// The default body channel (synthetic matrix + Gauss-Markov fading).
+[[nodiscard]] ChannelFactory default_channel_factory();
+
+/// Runs `runs` independent replications (fresh channel + fresh seeds,
+/// derived from params.seed) and averages PDR and power; the returned
+/// SimResult carries the averaged metrics and the *first* run's detailed
+/// node stats.  `pdr_spread`/`power_spread` (optional) receive the
+/// per-run sample statistics for error reporting.
+[[nodiscard]] SimResult simulate_averaged(
+    const model::NetworkConfig& cfg, const SimParams& params, int runs,
+    const ChannelFactory& make_channel = default_channel_factory(),
+    RunningStats* pdr_spread = nullptr, RunningStats* power_spread = nullptr);
+
+}  // namespace hi::net

@@ -1,0 +1,30 @@
+// hi-opt: the physical-layer packet exchanged by nodes.
+//
+// Payload content is irrelevant to the DSE metrics; a packet carries the
+// bookkeeping the paper's stack needs: originator + application sequence
+// number (PDR accounting), the current hop transmitter, the flooding hop
+// counter, and the visited-node history that controlled flooding uses to
+// stop duplicate circulation (Sec. 2.1.2, Routing Mechanism).
+#pragma once
+
+#include <cstdint>
+
+namespace hi::net {
+
+/// A packet in flight.  Copied freely.
+struct Packet {
+  int origin = 0;            ///< location id of the originating node
+  std::uint32_t seq = 0;     ///< per-origin application sequence number
+  int dest = 0;              ///< location id of the final destination
+  int sender = 0;            ///< location id of the current transmitter
+  int hops = 0;              ///< relays so far (0 = original transmission)
+  std::uint16_t visited = 0; ///< bitmask of location ids the packet visited
+  int bytes = 100;           ///< physical-layer length L
+
+  /// Unique key of the application packet (origin, seq).
+  [[nodiscard]] std::uint64_t key() const {
+    return (static_cast<std::uint64_t>(origin) << 32) | seq;
+  }
+};
+
+}  // namespace hi::net

@@ -1,0 +1,101 @@
+#include "net/radio.hpp"
+
+#include "common/assert.hpp"
+#include "net/medium.hpp"
+
+namespace hi::net {
+
+Radio::Radio(des::Kernel& kernel, Medium& medium, int location,
+             const RadioParams& params)
+    : kernel_(kernel), medium_(medium), location_(location), params_(params) {
+  HI_REQUIRE(params_.bit_rate_bps > 0.0, "bit rate must be positive");
+  HI_REQUIRE(params_.tx_mw > 0.0 && params_.rx_mw > 0.0,
+             "radio power draws must be positive");
+}
+
+double Radio::packet_airtime_s(int bytes) const {
+  return 8.0 * bytes / params_.bit_rate_bps;
+}
+
+void Radio::transmit(const Packet& p) {
+  HI_ASSERT_MSG(!transmitting_, "radio " << location_ << " already transmitting");
+  // Half duplex: an in-progress decode is lost.
+  if (decoding_) {
+    rx_energy_mj_ += (kernel_.now() - decode_start_) * params_.rx_mw;
+    decoding_ = false;
+    current_rx_id_ = 0;
+    ++stats_.rx_aborted;
+  }
+  transmitting_ = true;
+  const double duration = packet_airtime_s(p.bytes);
+  tx_energy_mj_ += duration * params_.tx_mw;
+  ++stats_.tx_packets;
+  Packet out = p;
+  out.sender = location_;
+  medium_.begin_transmission(*this, out, duration);
+  kernel_.schedule_in(duration, [this] { finish_transmit(); });
+}
+
+void Radio::finish_transmit() {
+  HI_ASSERT(transmitting_);
+  transmitting_ = false;
+  if (on_tx_done) {
+    on_tx_done();
+  }
+}
+
+void Radio::signal_start(std::uint64_t tx_id, double rx_dbm, const Packet& p) {
+  // The medium only offers signals above sensitivity.
+  audible_.emplace(tx_id, Signal{rx_dbm, p});
+  if (transmitting_) {
+    ++stats_.rx_missed;  // half duplex: cannot hear while talking
+    return;
+  }
+  if (!decoding_) {
+    // Start decoding this signal; pre-existing interference can already
+    // doom it.
+    decoding_ = true;
+    current_rx_id_ = tx_id;
+    current_corrupted_ = false;
+    decode_start_ = kernel_.now();
+    for (const auto& [id, sig] : audible_) {
+      if (id != tx_id && sig.rx_dbm > rx_dbm - params_.capture_db) {
+        current_corrupted_ = true;
+        break;
+      }
+    }
+    return;
+  }
+  // Already decoding another signal: the newcomer is interference for the
+  // current decode and is itself missed.
+  ++stats_.rx_missed;
+  const auto cur = audible_.find(current_rx_id_);
+  HI_ASSERT(cur != audible_.end());
+  if (rx_dbm > cur->second.rx_dbm - params_.capture_db) {
+    current_corrupted_ = true;
+  }
+}
+
+void Radio::signal_end(std::uint64_t tx_id) {
+  const auto it = audible_.find(tx_id);
+  if (it == audible_.end()) {
+    return;  // signal started while we were attached elsewhere — ignore
+  }
+  const Signal sig = it->second;
+  audible_.erase(it);
+  if (decoding_ && current_rx_id_ == tx_id) {
+    decoding_ = false;
+    current_rx_id_ = 0;
+    rx_energy_mj_ += (kernel_.now() - decode_start_) * params_.rx_mw;
+    if (current_corrupted_) {
+      ++stats_.rx_corrupted;
+    } else {
+      ++stats_.rx_ok;
+      if (on_receive) {
+        on_receive(sig.packet);
+      }
+    }
+  }
+}
+
+}  // namespace hi::net

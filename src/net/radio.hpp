@@ -1,0 +1,115 @@
+// hi-opt: the physical layer.
+//
+// A Radio is half-duplex: it either transmits, decodes at most one
+// incoming signal, or idles.  Reception uses a capture model: the signal
+// being decoded survives interference as long as it stays `capture_db`
+// above the strongest overlapping signal; otherwise it is marked
+// corrupted (collision).  Signals that arrive while the radio is already
+// decoding or transmitting are missed.  Energy is metered per packet
+// event — TxmW for the transmit duration, RxmW for the time spent
+// decoding — matching the paper's Eq. (3) accounting, which charges
+// packet transactions rather than idle listening.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "des/kernel.hpp"
+#include "net/packet.hpp"
+
+namespace hi::net {
+
+/// Physical-layer parameters of one radio instance.
+struct RadioParams {
+  double tx_dbm = 0.0;       ///< transmit output power
+  double tx_mw = 18.3;       ///< power drawn while transmitting
+  double sensitivity_dbm = -97.0;
+  double rx_mw = 17.7;       ///< power drawn while decoding
+  double bit_rate_bps = 1.024e6;
+  double capture_db = 10.0;  ///< SIR needed to survive interference
+};
+
+/// Per-radio event counters.
+struct RadioStats {
+  std::uint64_t tx_packets = 0;
+  std::uint64_t rx_ok = 0;         ///< decoded successfully
+  std::uint64_t rx_corrupted = 0;  ///< collision while decoding
+  std::uint64_t rx_missed = 0;     ///< audible but radio was busy
+  std::uint64_t rx_aborted = 0;    ///< decode cut short by own transmit
+};
+
+class Medium;
+
+/// See file comment.  One Radio per node; owned by the Node, wired to the
+/// shared Medium by the Network builder.
+class Radio {
+ public:
+  Radio(des::Kernel& kernel, Medium& medium, int location,
+        const RadioParams& params);
+
+  Radio(const Radio&) = delete;
+  Radio& operator=(const Radio&) = delete;
+
+  /// Callback invoked with each successfully decoded packet (set by MAC).
+  std::function<void(const Packet&)> on_receive;
+
+  /// Callback invoked when a transmission completes (set by MAC).
+  std::function<void()> on_tx_done;
+
+  /// Starts transmitting `p`.  Must not already be transmitting.  Any
+  /// in-progress decode is aborted (half duplex).
+  void transmit(const Packet& p);
+
+  /// True while a transmission is in progress.
+  [[nodiscard]] bool transmitting() const { return transmitting_; }
+
+  /// Carrier sense: true when transmitting or when at least one signal
+  /// above sensitivity is on the air at this radio.
+  [[nodiscard]] bool channel_busy() const {
+    return transmitting_ || !audible_.empty();
+  }
+
+  /// Air time of a packet of `bytes` at this radio's bit rate.
+  [[nodiscard]] double packet_airtime_s(int bytes) const;
+
+  [[nodiscard]] int location() const { return location_; }
+  [[nodiscard]] const RadioParams& params() const { return params_; }
+  [[nodiscard]] const RadioStats& stats() const { return stats_; }
+  [[nodiscard]] double tx_energy_mj() const { return tx_energy_mj_; }
+  [[nodiscard]] double rx_energy_mj() const { return rx_energy_mj_; }
+
+  // --- Medium-facing interface -------------------------------------------
+  /// A signal with receive power `rx_dbm` (already >= sensitivity) starts.
+  void signal_start(std::uint64_t tx_id, double rx_dbm, const Packet& p);
+
+  /// The signal `tx_id` ends; delivers the packet if decoding succeeded.
+  void signal_end(std::uint64_t tx_id);
+
+ private:
+  struct Signal {
+    double rx_dbm;
+    Packet packet;
+  };
+
+  void finish_transmit();
+
+  des::Kernel& kernel_;
+  Medium& medium_;
+  int location_;
+  RadioParams params_;
+
+  bool transmitting_ = false;
+  std::unordered_map<std::uint64_t, Signal> audible_;
+
+  bool decoding_ = false;
+  std::uint64_t current_rx_id_ = 0;
+  bool current_corrupted_ = false;
+  double decode_start_ = 0.0;
+
+  double tx_energy_mj_ = 0.0;
+  double rx_energy_mj_ = 0.0;
+  RadioStats stats_;
+};
+
+}  // namespace hi::net

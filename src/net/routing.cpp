@@ -1,0 +1,89 @@
+#include "net/routing.hpp"
+
+#include "common/assert.hpp"
+
+namespace hi::net {
+
+Routing::Routing(Mac& mac, int location) : mac_(mac), location_(location) {
+  mac_.on_receive = [this](const Packet& p) { handle_receive(p); };
+}
+
+void Routing::originate(int bytes, int dest) {
+  HI_REQUIRE(dest != location_, "node " << location_
+                                        << " addressing itself");
+  Packet p;
+  p.origin = location_;
+  p.seq = next_seq_++;
+  p.dest = dest;
+  p.sender = location_;
+  p.hops = 0;
+  p.visited = static_cast<std::uint16_t>(1u << location_);
+  p.bytes = bytes;
+  ++stats_.originated;
+  mac_.enqueue(p);
+}
+
+void Routing::deliver_if_new(const Packet& p) {
+  if (!seen_.insert(p.key()).second) {
+    ++stats_.duplicates;
+    return;
+  }
+  ++stats_.delivered;
+  if (deliver) {
+    deliver(p.origin, p.seq);
+  }
+}
+
+StarRouting::StarRouting(Mac& mac, int location, int coordinator)
+    : Routing(mac, location), coordinator_(coordinator) {}
+
+void StarRouting::handle_receive(const Packet& p) {
+  if (p.origin == location_) {
+    return;  // coordinator echo of our own packet
+  }
+  if (p.dest == location_) {
+    deliver_if_new(p);
+    return;
+  }
+  // Transit: only the coordinator forwards, once per unique packet.
+  if (location_ == coordinator_ && p.hops == 0 &&
+      echoed_.insert(p.key()).second) {
+    Packet echo = p;
+    echo.sender = location_;
+    echo.hops = 1;
+    echo.visited =
+        static_cast<std::uint16_t>(echo.visited | (1u << location_));
+    ++stats_.relayed;
+    mac_.enqueue(echo);
+  }
+}
+
+MeshRouting::MeshRouting(Mac& mac, int location, int max_hops)
+    : Routing(mac, location), max_hops_(max_hops) {
+  HI_REQUIRE(max_hops_ >= 1, "mesh needs at least one hop");
+}
+
+void MeshRouting::handle_receive(const Packet& p) {
+  if (p.origin == location_) {
+    return;  // our own packet flooding back
+  }
+  if (p.dest == location_) {
+    deliver_if_new(p);
+    return;  // the destination never relays (paper Sec. 2.1.2)
+  }
+  // Controlled flooding: rebroadcast every received copy while the hop
+  // budget lasts and we are not in the copy's history.  (Per copy, not
+  // per packet: redundant paths are the mesh's reliability mechanism and
+  // exactly what NreTx = N^2-4N+5 bounds.)
+  if (p.hops < max_hops_ && ((p.visited >> location_) & 1u) == 0) {
+    Packet relay = p;
+    relay.sender = location_;
+    relay.hops = p.hops + 1;
+    relay.visited =
+        static_cast<std::uint16_t>(relay.visited | (1u << location_));
+    ++stats_.relayed;
+    mac_.enqueue(relay);
+  }
+}
+
+}  // namespace hi::net

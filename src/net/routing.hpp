@@ -1,0 +1,99 @@
+// hi-opt: network-layer routing.
+//
+// Packets are unicast: the application addresses each packet to one
+// destination (Eq. 6 tracks per-pair statistics N(s)/N(r) i->k).  All
+// transmissions are physically broadcast on the shared medium, so every
+// node in range decodes every copy — that is what the paper's Eq. (3)/(5)
+// energy model charges — but only the destination delivers it upward.
+//
+// Two schemes from the component library (Sec. 2.1.2):
+//
+//   * Star: the central coordinator rebroadcasts each packet it hears
+//     (once, unless it is itself the destination), so the destination
+//     gets up to two chances — the original and the echo — matching the
+//     factor 2 in Eq. (5).
+//
+//   * Mesh (controlled flooding): every node except the packet's final
+//     destination rebroadcasts each received *copy* whose hop counter is
+//     below Nhops and whose visited history does not contain the node.
+//     The per-packet transmission count is then bounded by
+//     1 + (N-2) + (N-2)(N-3) = N^2 - 4N + 5 = NreTx, the paper's bound.
+//
+// Both schemes deliver each unique packet to the destination app at most
+// once (sequence-number dedup).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_set>
+
+#include "net/mac.hpp"
+#include "net/packet.hpp"
+
+namespace hi::net {
+
+/// Routing-layer counters.
+struct RoutingStats {
+  std::uint64_t originated = 0;
+  std::uint64_t delivered = 0;   ///< unique packets handed to the app
+  std::uint64_t duplicates = 0;  ///< destination copies suppressed by dedup
+  std::uint64_t relayed = 0;     ///< copies rebroadcast by this node
+};
+
+/// Abstract routing layer for one node.
+class Routing {
+ public:
+  Routing(Mac& mac, int location);
+  virtual ~Routing() = default;
+
+  Routing(const Routing&) = delete;
+  Routing& operator=(const Routing&) = delete;
+
+  /// Originates a new application packet of `bytes` bytes for `dest`.
+  void originate(int bytes, int dest);
+
+  /// Callback to the application layer: a unique packet from `origin`
+  /// with sequence `seq` arrived at this node (its destination).
+  std::function<void(int origin, std::uint32_t seq)> deliver;
+
+  [[nodiscard]] const RoutingStats& stats() const { return stats_; }
+  [[nodiscard]] int location() const { return location_; }
+
+ protected:
+  /// Handles a packet decoded by the MAC/radio.
+  virtual void handle_receive(const Packet& p) = 0;
+
+  /// Delivers to the local app if this is the first copy of `p` seen.
+  void deliver_if_new(const Packet& p);
+
+  Mac& mac_;
+  int location_;
+  std::uint32_t next_seq_ = 0;
+  std::unordered_set<std::uint64_t> seen_;
+  RoutingStats stats_;
+};
+
+/// Star topology with a coordinator echo; see file comment.
+class StarRouting final : public Routing {
+ public:
+  StarRouting(Mac& mac, int location, int coordinator);
+
+ private:
+  void handle_receive(const Packet& p) override;
+
+  int coordinator_;
+  std::unordered_set<std::uint64_t> echoed_;
+};
+
+/// Controlled flooding mesh; see file comment.
+class MeshRouting final : public Routing {
+ public:
+  MeshRouting(Mac& mac, int location, int max_hops);
+
+ private:
+  void handle_receive(const Packet& p) override;
+
+  int max_hops_;
+};
+
+}  // namespace hi::net

@@ -1,0 +1,65 @@
+#include "net/tdma.hpp"
+
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace hi::net {
+
+TdmaMac::TdmaMac(des::Kernel& kernel, Radio& radio, int buffer_packets,
+                 const TdmaParams& params)
+    : Mac(kernel, radio, buffer_packets), params_(params) {
+  HI_REQUIRE(params_.slot_s > 0.0, "slot duration must be positive");
+  HI_REQUIRE(params_.num_slots > 0, "frame needs at least one slot");
+  HI_REQUIRE(params_.slot_index >= 0 && params_.slot_index < params_.num_slots,
+             "slot index " << params_.slot_index << " outside frame of "
+                           << params_.num_slots);
+  radio_.on_tx_done = [this] {
+    if (!queue_.empty()) {
+      on_queue_not_empty();
+    }
+  };
+}
+
+double TdmaMac::next_own_slot_start() const {
+  const double frame_s = params_.slot_s * params_.num_slots;
+  const double offset = params_.slot_s * params_.slot_index;
+  const double now = kernel_.now();
+  // First own slot start strictly in the future (>= now + tiny epsilon to
+  // avoid re-entering the slot we are already inside).
+  const double k = std::floor((now - offset) / frame_s) + 1.0;
+  double t = offset + k * frame_s;
+  if (t < now) {
+    t += frame_s;
+  }
+  return t;
+}
+
+void TdmaMac::on_queue_not_empty() {
+  if (wakeup_armed_ || radio_.transmitting()) {
+    return;
+  }
+  wakeup_armed_ = true;
+  kernel_.schedule_at(next_own_slot_start(), [this] { slot_begin(); });
+}
+
+void TdmaMac::slot_begin() {
+  wakeup_armed_ = false;
+  if (queue_.empty()) {
+    return;
+  }
+  const Packet p = queue_.front();
+  HI_ASSERT_MSG(radio_.packet_airtime_s(p.bytes) <= params_.slot_s,
+                "packet of " << p.bytes << " B does not fit in a "
+                             << params_.slot_s << " s slot");
+  if (radio_.transmitting()) {
+    // Should not happen (own airtime fits a slot), but stay safe.
+    on_queue_not_empty();
+    return;
+  }
+  queue_.pop_front();
+  ++stats_.sent;
+  radio_.transmit(p);
+}
+
+}  // namespace hi::net

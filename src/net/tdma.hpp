@@ -1,0 +1,41 @@
+// hi-opt: time-division multiple access MAC.
+//
+// The frame consists of one `slot_s`-long slot per node, assigned
+// round-robin in node order (paper Sec. 4.1: 1 ms slots).  A node
+// transmits at most one packet at the start of each of its own slots, so
+// access is collision-free and deterministic — at the cost of the global
+// synchronized clock the paper remarks on, which the simulator grants
+// for free.  Idle slots cost nothing: the MAC only schedules wakeups at
+// its next own slot while its queue is non-empty.
+#pragma once
+
+#include "net/mac.hpp"
+
+namespace hi::net {
+
+/// TDMA slot assignment for one node.
+struct TdmaParams {
+  double slot_s = 1e-3;  ///< Tslot
+  int slot_index = 0;    ///< this node's slot within the frame
+  int num_slots = 1;     ///< frame length in slots (= N)
+};
+
+/// See file comment.
+class TdmaMac final : public Mac {
+ public:
+  TdmaMac(des::Kernel& kernel, Radio& radio, int buffer_packets,
+          const TdmaParams& params);
+
+ private:
+  void on_queue_not_empty() override;
+  void slot_begin();
+
+  /// Start time of the next slot owned by this node, strictly after any
+  /// already-armed wakeup.
+  [[nodiscard]] double next_own_slot_start() const;
+
+  TdmaParams params_;
+  bool wakeup_armed_ = false;
+};
+
+}  // namespace hi::net

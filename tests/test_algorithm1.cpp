@@ -1,0 +1,156 @@
+// Tests for Algorithm 1 (dse/algorithm1.hpp): optimality against
+// exhaustive search (the paper's correctness claim), termination, and
+// efficiency (fewer simulations than exhaustive).
+#include "dse/algorithm1.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dse/exhaustive.hpp"
+
+namespace hi::dse {
+namespace {
+
+/// Scaled-down evaluation: short runs, shared by both explorers so their
+/// comparisons are exact.
+EvaluatorSettings fast_settings(std::uint64_t seed = 21) {
+  EvaluatorSettings s;
+  s.sim.duration_s = 10.0;
+  s.sim.seed = seed;
+  s.runs = 2;
+  return s;
+}
+
+/// Small scenario (N fixed to 4): 8 topologies x 12 options = 96 configs.
+model::Scenario small_scenario() {
+  model::Scenario sc;
+  sc.max_nodes = 4;
+  return sc;
+}
+
+TEST(Algorithm1, FindsFeasibleAtLowBound) {
+  Evaluator ev(fast_settings());
+  Algorithm1Options opt;
+  opt.pdr_min = 0.30;
+  const ExplorationResult res = run_algorithm1(small_scenario(), ev, opt);
+  ASSERT_TRUE(res.feasible);
+  EXPECT_GE(res.best_pdr, 0.30);
+  EXPECT_GT(res.best_nlt_s, 0.0);
+  EXPECT_GT(res.simulations, 0u);
+  EXPECT_FALSE(res.history.empty());
+}
+
+TEST(Algorithm1, InfeasibleWhenBoundUnreachable) {
+  // Nothing delivers 100.0% of packets over a faded body channel in a
+  // 4-node star/mesh at these powers (short runs make losses certain).
+  Evaluator ev(fast_settings());
+  Algorithm1Options opt;
+  opt.pdr_min = 1.0;
+  model::Scenario sc = small_scenario();
+  const ExplorationResult res = run_algorithm1(sc, ev, opt);
+  // Either genuinely infeasible or met only by a perfect-measuring run;
+  // in both cases the algorithm must terminate and report consistently.
+  if (res.feasible) {
+    EXPECT_GE(res.best_pdr, 1.0);
+  } else {
+    EXPECT_EQ(res.best_pdr, 0.0);
+  }
+}
+
+TEST(Algorithm1, StopsWithinIterationBudget) {
+  Evaluator ev(fast_settings());
+  Algorithm1Options opt;
+  opt.pdr_min = 0.7;
+  opt.max_iterations = 2;  // artificially tight
+  const ExplorationResult res = run_algorithm1(small_scenario(), ev, opt);
+  EXPECT_LE(res.iterations, 2);
+}
+
+TEST(Algorithm1, AlphaTerminationPreservesOptimality) {
+  Evaluator ev(fast_settings());
+  Algorithm1Options with_alpha;
+  with_alpha.pdr_min = 0.6;
+  const ExplorationResult a =
+      run_algorithm1(small_scenario(), ev, with_alpha);
+  Algorithm1Options no_alpha = with_alpha;
+  no_alpha.use_alpha_termination = false;
+  const ExplorationResult b = run_algorithm1(small_scenario(), ev, no_alpha);
+  ASSERT_EQ(a.feasible, b.feasible);
+  if (a.feasible) {
+    EXPECT_DOUBLE_EQ(a.best_power_mw, b.best_power_mw);
+  }
+  // Alpha termination can only shorten the search.
+  EXPECT_LE(a.iterations, b.iterations);
+}
+
+TEST(Algorithm1, HistoryRecordsMatchEvaluator) {
+  Evaluator ev(fast_settings());
+  Algorithm1Options opt;
+  opt.pdr_min = 0.5;
+  const ExplorationResult res = run_algorithm1(small_scenario(), ev, opt);
+  for (const CandidateRecord& rec : res.history) {
+    const Evaluation& e = ev.evaluate(rec.cfg);  // cache hit
+    EXPECT_DOUBLE_EQ(rec.sim_pdr, e.pdr);
+    EXPECT_DOUBLE_EQ(rec.sim_power_mw, e.power_mw);
+    EXPECT_GT(rec.analytic_power_mw, 0.0);
+  }
+}
+
+// ---- The headline property: Algorithm 1 == exhaustive, with fewer sims.
+
+struct SweepCase {
+  double pdr_min;
+  std::uint64_t seed;
+};
+
+class Algorithm1VsExhaustive : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(Algorithm1VsExhaustive, SameOptimumFewerSimulations) {
+  const SweepCase c = GetParam();
+  const model::Scenario sc = small_scenario();
+  Evaluator ev(fast_settings(c.seed));
+
+  Algorithm1Options opt;
+  opt.pdr_min = c.pdr_min;
+  const ExplorationResult alg = run_algorithm1(sc, ev, opt);
+
+  Evaluator ev2(fast_settings(c.seed));  // fresh cache: fair sim count
+  const ExplorationResult exh = run_exhaustive(sc, ev2, c.pdr_min);
+
+  ASSERT_EQ(alg.feasible, exh.feasible)
+      << "pdr_min=" << c.pdr_min << " seed=" << c.seed;
+  if (exh.feasible) {
+    // The guarantee is on the objective value (ties possible).
+    EXPECT_DOUBLE_EQ(alg.best_power_mw, exh.best_power_mw);
+    EXPECT_GE(alg.best_pdr, c.pdr_min);
+  }
+  EXPECT_LE(alg.simulations, exh.simulations);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, Algorithm1VsExhaustive,
+    ::testing::Values(SweepCase{0.30, 1}, SweepCase{0.50, 1},
+                      SweepCase{0.70, 1}, SweepCase{0.85, 1},
+                      SweepCase{0.95, 1}, SweepCase{0.30, 2},
+                      SweepCase{0.50, 2}, SweepCase{0.70, 2},
+                      SweepCase{0.85, 2}, SweepCase{0.95, 2},
+                      SweepCase{0.60, 3}, SweepCase{0.90, 3}));
+
+TEST(Algorithm1, MediumScenarioMatchesExhaustive) {
+  // One 5-node-capable scenario to exercise the z/N machinery end to end.
+  model::Scenario sc;
+  sc.max_nodes = 5;
+  Evaluator ev(fast_settings(4));
+  Algorithm1Options opt;
+  opt.pdr_min = 0.9;
+  const ExplorationResult alg = run_algorithm1(sc, ev, opt);
+  Evaluator ev2(fast_settings(4));
+  const ExplorationResult exh = run_exhaustive(sc, ev2, opt.pdr_min);
+  ASSERT_EQ(alg.feasible, exh.feasible);
+  if (exh.feasible) {
+    EXPECT_DOUBLE_EQ(alg.best_power_mw, exh.best_power_mw);
+  }
+  EXPECT_LT(alg.simulations, exh.simulations);
+}
+
+}  // namespace
+}  // namespace hi::dse

@@ -1,0 +1,167 @@
+// Unit tests for the discrete-event kernel (des/kernel.hpp).
+#include "des/kernel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace hi::des {
+namespace {
+
+TEST(Kernel, ExecutesInTimeOrder) {
+  Kernel k;
+  std::vector<int> order;
+  k.schedule_at(3.0, [&] { order.push_back(3); });
+  k.schedule_at(1.0, [&] { order.push_back(1); });
+  k.schedule_at(2.0, [&] { order.push_back(2); });
+  k.run_until(10.0);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(k.now(), 10.0);
+}
+
+TEST(Kernel, SimultaneousEventsAreFifo) {
+  Kernel k;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    k.schedule_at(5.0, [&order, i] { order.push_back(i); });
+  }
+  k.run_until(5.0);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+  }
+}
+
+TEST(Kernel, NowAdvancesDuringExecution) {
+  Kernel k;
+  double seen = -1.0;
+  k.schedule_at(4.5, [&] { seen = k.now(); });
+  k.run_until(100.0);
+  EXPECT_DOUBLE_EQ(seen, 4.5);
+}
+
+TEST(Kernel, ScheduleInUsesRelativeTime) {
+  Kernel k;
+  double seen = -1.0;
+  k.schedule_at(2.0, [&] {
+    k.schedule_in(3.0, [&] { seen = k.now(); });
+  });
+  k.run_until(10.0);
+  EXPECT_DOUBLE_EQ(seen, 5.0);
+}
+
+TEST(Kernel, CancelPreventsExecution) {
+  Kernel k;
+  bool ran = false;
+  const EventId id = k.schedule_at(1.0, [&] { ran = true; });
+  k.cancel(id);
+  k.run_until(5.0);
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(k.events_processed(), 0u);
+}
+
+TEST(Kernel, CancelAfterExecutionIsNoop) {
+  Kernel k;
+  int runs = 0;
+  const EventId id = k.schedule_at(1.0, [&] { ++runs; });
+  k.run_until(2.0);
+  k.cancel(id);  // already ran
+  k.run_until(3.0);
+  EXPECT_EQ(runs, 1);
+}
+
+TEST(Kernel, InvalidEventIdCancelIsNoop) {
+  Kernel k;
+  k.cancel(EventId{});  // must not crash
+  EXPECT_FALSE(EventId{}.valid());
+}
+
+TEST(Kernel, RunUntilStopsAtHorizon) {
+  Kernel k;
+  bool late_ran = false;
+  k.schedule_at(5.0, [&] { late_ran = true; });
+  k.run_until(4.0);
+  EXPECT_FALSE(late_ran);
+  EXPECT_DOUBLE_EQ(k.now(), 4.0);
+  k.run_until(6.0);
+  EXPECT_TRUE(late_ran);
+}
+
+TEST(Kernel, EventAtHorizonRuns) {
+  Kernel k;
+  bool ran = false;
+  k.schedule_at(4.0, [&] { ran = true; });
+  k.run_until(4.0);
+  EXPECT_TRUE(ran);
+}
+
+TEST(Kernel, HandlerMayScheduleAtCurrentTime) {
+  Kernel k;
+  std::vector<int> order;
+  k.schedule_at(1.0, [&] {
+    order.push_back(0);
+    k.schedule_at(1.0, [&] { order.push_back(1); });
+  });
+  k.run_until(1.0);
+  EXPECT_EQ(order, (std::vector<int>{0, 1}));
+}
+
+TEST(Kernel, SelfReschedulingChain) {
+  Kernel k;
+  int count = 0;
+  std::function<void()> tick = [&] {
+    ++count;
+    if (count < 100) k.schedule_in(0.1, tick);
+  };
+  k.schedule_in(0.1, tick);
+  k.run_until(100.0);
+  EXPECT_EQ(count, 100);
+  EXPECT_EQ(k.events_processed(), 100u);
+}
+
+TEST(Kernel, RunToCompletionDrainsQueue) {
+  Kernel k;
+  int count = 0;
+  k.schedule_at(1.0, [&] { ++count; });
+  k.schedule_at(1e9, [&] { ++count; });
+  k.run_to_completion();
+  EXPECT_EQ(count, 2);
+  EXPECT_EQ(k.events_pending(), 0u);
+}
+
+TEST(Kernel, PendingCountExcludesCancelled) {
+  Kernel k;
+  const EventId a = k.schedule_at(1.0, [] {});
+  k.schedule_at(2.0, [] {});
+  EXPECT_EQ(k.events_pending(), 2u);
+  k.cancel(a);
+  EXPECT_EQ(k.events_pending(), 1u);
+}
+
+TEST(Kernel, SchedulingInPastThrows) {
+  Kernel k;
+  k.schedule_at(5.0, [] {});
+  k.run_until(5.0);
+  EXPECT_THROW(k.schedule_at(4.0, [] {}), InternalError);
+  EXPECT_THROW(k.schedule_in(-1.0, [] {}), InternalError);
+}
+
+TEST(Kernel, ManyEventsStressOrdering) {
+  Kernel k;
+  double last = -1.0;
+  bool monotone = true;
+  for (int i = 0; i < 10'000; ++i) {
+    const double t = static_cast<double>((i * 7919) % 1000) + 0.5;
+    k.schedule_at(t, [&, t] {
+      monotone = monotone && t >= last;
+      last = t;
+    });
+  }
+  k.run_until(2'000.0);
+  EXPECT_TRUE(monotone);
+  EXPECT_EQ(k.events_processed(), 10'000u);
+}
+
+}  // namespace
+}  // namespace hi::des

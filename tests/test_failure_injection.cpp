@@ -1,0 +1,196 @@
+// Failure-injection tests: the stack's behaviour when pieces of the
+// world break — dead channels, one-way links, absurd loads, impossible
+// requirements — must be graceful and correctly reported.
+#include <gtest/gtest.h>
+
+#include "channel/channel.hpp"
+#include "common/assert.hpp"
+#include "dse/algorithm1.hpp"
+#include "dse/annealing.hpp"
+#include "dse/exhaustive.hpp"
+#include "net/network.hpp"
+
+namespace hi {
+namespace {
+
+/// Channel where only the listed directed pairs are alive.
+channel::PathLossMatrix matrix_with_links(
+    std::initializer_list<std::pair<int, int>> alive, double pl = 60.0) {
+  channel::PathLossMatrix m;
+  for (int i = 0; i < channel::kNumLocations; ++i) {
+    for (int j = i + 1; j < channel::kNumLocations; ++j) {
+      m.set_db(i, j, 150.0);
+    }
+  }
+  for (const auto& [a, b] : alive) {
+    m.set_db(a, b, pl);
+  }
+  return m;
+}
+
+net::SimParams fast_params() {
+  net::SimParams sp;
+  sp.duration_s = 10.0;
+  sp.seed = 5;
+  return sp;
+}
+
+model::NetworkConfig reference(model::RoutingProtocol rt,
+                               model::MacProtocol mac =
+                                   model::MacProtocol::kTdma) {
+  model::Scenario sc;
+  return sc.make_config(model::Topology::from_locations({0, 1, 3, 5}), 2,
+                        mac, rt);
+}
+
+TEST(FailureInjection, PartitionedNetworkHasPartialPdr) {
+  // The ankle (3) is unreachable; everyone else communicates fine.
+  channel::StaticChannel ch(
+      matrix_with_links({{0, 1}, {0, 5}, {1, 5}}));
+  const net::SimResult r =
+      net::simulate(reference(model::RoutingProtocol::kStar), ch,
+                    fast_params());
+  EXPECT_GT(r.pdr, 0.3);
+  EXPECT_LT(r.pdr, 0.8);
+  for (const auto& n : r.nodes) {
+    if (n.location == 3) {
+      EXPECT_DOUBLE_EQ(n.pdr, 0.0);
+    }
+  }
+}
+
+TEST(FailureInjection, MeshHealsAPartitionTheStarCannot) {
+  // Ankle reachable only via the hip: star (echo via chest) fails,
+  // mesh (relay at hip) succeeds.
+  const auto m = matrix_with_links({{0, 1}, {0, 5}, {1, 5}, {1, 3}});
+  {
+    channel::StaticChannel ch(m);
+    const net::SimResult star = net::simulate(
+        reference(model::RoutingProtocol::kStar), ch, fast_params());
+    double ankle_pdr = -1.0;
+    for (const auto& n : star.nodes) {
+      if (n.location == 3) ankle_pdr = n.pdr;
+    }
+    EXPECT_LT(ankle_pdr, 0.5);  // only hip->ankle direct traffic arrives
+  }
+  {
+    channel::StaticChannel ch(m);
+    const net::SimResult mesh = net::simulate(
+        reference(model::RoutingProtocol::kMesh), ch, fast_params());
+    double ankle_pdr = -1.0;
+    for (const auto& n : mesh.nodes) {
+      if (n.location == 3) ankle_pdr = n.pdr;
+    }
+    EXPECT_GT(ankle_pdr, 0.95);  // hip relays everything
+  }
+}
+
+TEST(FailureInjection, SaturatingLoadDropsAtBufferNotCrash) {
+  // 1000 pkt/s per node on a 1024 kbps channel is beyond capacity: the
+  // MAC buffers overflow, drops are counted, and PDR degrades without
+  // any assertion tripping.
+  model::Scenario sc;
+  sc.app.throughput_pps = 1000.0;
+  const auto cfg =
+      sc.make_config(model::Topology::from_locations({0, 1, 3, 5}), 2,
+                     model::MacProtocol::kTdma,
+                     model::RoutingProtocol::kMesh);
+  auto ch = channel::make_default_body_channel(1);
+  const net::SimResult r = net::simulate(cfg, *ch, fast_params());
+  std::uint64_t drops = 0;
+  for (const auto& n : r.nodes) drops += n.mac.dropped_buffer;
+  EXPECT_GT(drops, 0u);
+  EXPECT_LT(r.pdr, 0.9);
+}
+
+TEST(FailureInjection, ExplorerReportsInfeasibleOnDeadChannel) {
+  dse::EvaluatorSettings es;
+  es.sim.duration_s = 5.0;
+  es.sim.seed = 2;
+  es.runs = 1;
+  es.channel = [](std::uint64_t) {
+    channel::PathLossMatrix m = matrix_with_links({});
+    return std::make_unique<channel::StaticChannel>(m);
+  };
+  dse::Evaluator eval(es);
+  model::Scenario sc;
+  sc.max_nodes = 4;
+  dse::Algorithm1Options opt;
+  opt.pdr_min = 0.5;
+  const dse::ExplorationResult res = dse::run_algorithm1(sc, eval, opt);
+  EXPECT_FALSE(res.feasible);
+  // It must have drained every power level before giving up.
+  EXPECT_EQ(res.simulations, 96u);
+  const dse::ExplorationResult exh = dse::run_exhaustive(sc, eval, 0.5);
+  EXPECT_FALSE(exh.feasible);
+}
+
+TEST(FailureInjection, AnnealerSurvivesFullyInfeasibleSpace) {
+  dse::EvaluatorSettings es;
+  es.sim.duration_s = 5.0;
+  es.sim.seed = 2;
+  es.runs = 1;
+  es.channel = [](std::uint64_t) {
+    channel::PathLossMatrix m = matrix_with_links({});
+    return std::make_unique<channel::StaticChannel>(m);
+  };
+  dse::Evaluator eval(es);
+  model::Scenario sc;
+  sc.max_nodes = 4;
+  dse::AnnealingOptions opt;
+  opt.pdr_min = 0.5;
+  opt.steps = 50;
+  const dse::ExplorationResult res = dse::run_annealing(sc, eval, opt);
+  EXPECT_FALSE(res.feasible);
+  EXPECT_EQ(res.iterations, 50);
+}
+
+TEST(FailureInjection, ImpossibleTopologyRequirementsAreInfeasible) {
+  model::Scenario sc;
+  sc.coverage.push_back({{9}, "back node required"});
+  sc.coverage.push_back({{8}, "head node required"});
+  sc.coverage.push_back({{7}, "shoulder node required"});
+  // chest + hip + foot + wrist + back + head + shoulder = 7 > max 6.
+  EXPECT_TRUE(sc.feasible_topologies().empty());
+  dse::EvaluatorSettings es;
+  es.sim.duration_s = 5.0;
+  es.runs = 1;
+  dse::Evaluator eval(es);
+  dse::Algorithm1Options opt;
+  opt.pdr_min = 0.1;
+  const dse::ExplorationResult res = dse::run_algorithm1(sc, eval, opt);
+  EXPECT_FALSE(res.feasible);
+  EXPECT_EQ(res.simulations, 0u);  // the MILP proves it without simulating
+}
+
+TEST(FailureInjection, AsymmetricOneWayLinkBreaksReturnTraffic) {
+  // PathLossMatrix is symmetric by construction; asymmetry is modeled at
+  // the radio level (different sensitivities).  A deaf-but-loud node:
+  // transmits at 0 dBm but its receiver is 20 dB less sensitive.
+  model::Scenario sc;
+  auto cfg = sc.make_config(model::Topology::from_locations({0, 1, 3, 5}),
+                            2, model::MacProtocol::kTdma,
+                            model::RoutingProtocol::kStar);
+  // Raise everyone's sensitivity threshold so marginal links die on the
+  // receive side only.
+  cfg.radio.rx_dbm = -70.0;
+  channel::PathLossMatrix m;
+  for (int i = 0; i < channel::kNumLocations; ++i) {
+    for (int j = i + 1; j < channel::kNumLocations; ++j) {
+      m.set_db(i, j, 70.0 + (i == 0 || j == 0 ? 0.0 : 5.0));
+    }
+  }
+  channel::StaticChannel ch(m);
+  const net::SimResult r = net::simulate(cfg, ch, fast_params());
+  // Chest links (70 dB) survive, peer-to-peer links (75 dB) do not: the
+  // star works solely through the coordinator echo.
+  EXPECT_GT(r.pdr, 0.9);
+  for (const auto& n : r.nodes) {
+    if (n.location != 0) {
+      EXPECT_GT(n.routing.duplicates + n.routing.delivered, 0u);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hi

@@ -1,0 +1,165 @@
+// End-to-end properties of the full stack on the default calibrated
+// body channel: the orderings the paper's design example rests on
+// (Fig. 3's structure) must hold in simulation, not just in the
+// analytic models.
+#include <gtest/gtest.h>
+
+#include "dse/algorithm1.hpp"
+#include "dse/evaluator.hpp"
+#include "model/power.hpp"
+
+namespace hi::dse {
+namespace {
+
+class DseIntegration : public ::testing::Test {
+ protected:
+  static Evaluator& eval() {
+    // Shared across tests: results are cached, counters irrelevant here.
+    static EvaluatorSettings settings = [] {
+      EvaluatorSettings s;
+      s.sim.duration_s = 120.0;
+      s.sim.seed = 404;
+      s.runs = 3;
+      return s;
+    }();
+    static Evaluator instance(settings);
+    return instance;
+  }
+
+  static const Evaluation& run(int tx_level, model::MacProtocol mac,
+                               model::RoutingProtocol rt,
+                               std::initializer_list<int> locs = {0, 1, 3,
+                                                                  5}) {
+    model::Scenario sc;
+    return eval().evaluate(
+        sc.make_config(model::Topology::from_locations(locs), tx_level, mac,
+                       rt));
+  }
+};
+
+TEST_F(DseIntegration, PdrRisesWithTxPower) {
+  // Fig. 3: higher Tx power buys reliability, for both MACs.
+  for (const auto mac :
+       {model::MacProtocol::kCsma, model::MacProtocol::kTdma}) {
+    double prev = -1.0;
+    for (int lvl = 0; lvl < 3; ++lvl) {
+      const double pdr =
+          run(lvl, mac, model::RoutingProtocol::kStar).pdr;
+      EXPECT_GT(pdr, prev) << "mac=" << model::to_string(mac)
+                           << " lvl=" << lvl;
+      prev = pdr;
+    }
+  }
+}
+
+TEST_F(DseIntegration, LifetimeFallsWithTxPower) {
+  double prev = 1e18;
+  for (int lvl = 0; lvl < 3; ++lvl) {
+    const double nlt =
+        run(lvl, model::MacProtocol::kTdma, model::RoutingProtocol::kStar)
+            .nlt_s;
+    EXPECT_LT(nlt, prev);
+    prev = nlt;
+  }
+}
+
+TEST_F(DseIntegration, MeshTdmaBeatsStarOnReliability) {
+  // The crossover mechanism: at full power, the collision-free mesh
+  // clearly out-delivers the star (path diversity vs deep fades)...
+  const double star =
+      run(2, model::MacProtocol::kTdma, model::RoutingProtocol::kStar).pdr;
+  const double mesh =
+      run(2, model::MacProtocol::kTdma, model::RoutingProtocol::kMesh).pdr;
+  EXPECT_GT(mesh, star);
+  EXPECT_GT(mesh, 0.99);
+}
+
+TEST_F(DseIntegration, MeshPaysWithLifetime) {
+  // ...but costs several times the power (NreTx relays + receptions).
+  const auto& star =
+      run(2, model::MacProtocol::kTdma, model::RoutingProtocol::kStar);
+  const auto& mesh =
+      run(2, model::MacProtocol::kTdma, model::RoutingProtocol::kMesh);
+  EXPECT_LT(mesh.nlt_s, 0.6 * star.nlt_s);
+}
+
+TEST_F(DseIntegration, CsmaCollisionsCapTheMesh) {
+  // Relay storms collide under CSMA: the mesh's reliability gain mostly
+  // evaporates, which is why the paper's highest-reliability points need
+  // TDMA.
+  const double mesh_csma =
+      run(2, model::MacProtocol::kCsma, model::RoutingProtocol::kMesh).pdr;
+  const double mesh_tdma =
+      run(2, model::MacProtocol::kTdma, model::RoutingProtocol::kMesh).pdr;
+  EXPECT_LT(mesh_csma, mesh_tdma - 0.02);
+}
+
+TEST_F(DseIntegration, FifthNodeAddsRedundancy) {
+  // Paper Sec. 4.2: a fifth node raises the mesh PDR further at a steep
+  // lifetime cost.
+  const auto& four =
+      run(2, model::MacProtocol::kTdma, model::RoutingProtocol::kMesh);
+  const auto& five = run(2, model::MacProtocol::kTdma,
+                         model::RoutingProtocol::kMesh, {0, 1, 3, 5, 7});
+  EXPECT_GE(five.pdr, four.pdr);
+  EXPECT_LT(five.nlt_s, four.nlt_s);
+}
+
+TEST_F(DseIntegration, SimulatedPowerTracksAnalyticOrdering) {
+  // The MILP's coarse model must rank configuration classes like the
+  // simulator does, or Algorithm 1's level order would be useless.
+  model::Scenario sc;
+  const auto t = model::Topology::from_locations({0, 1, 3, 5});
+  double prev_sim = 0.0, prev_ana = 0.0;
+  for (const auto rt :
+       {model::RoutingProtocol::kStar, model::RoutingProtocol::kMesh}) {
+    const auto cfg = sc.make_config(t, 2, model::MacProtocol::kTdma, rt);
+    const double sim = eval().evaluate(cfg).power_mw;
+    const double ana = model::node_power_mw(cfg);
+    EXPECT_GT(sim, prev_sim);
+    EXPECT_GT(ana, prev_ana);
+    EXPECT_LE(sim, ana * 1.05);  // analytic is an (approximate) ceiling
+    prev_sim = sim;
+    prev_ana = ana;
+  }
+}
+
+TEST_F(DseIntegration, AnalyticLevelsAscendThroughAlgorithmIterations) {
+  // Algorithm 1 explores power levels in ascending analytic order; the
+  // recorded history must honour that.
+  model::Scenario sc;
+  sc.max_nodes = 5;
+  Algorithm1Options opt;
+  opt.pdr_min = 0.95;
+  const ExplorationResult res = run_algorithm1(sc, eval(), opt);
+  double prev = 0.0;
+  for (const CandidateRecord& rec : res.history) {
+    EXPECT_GE(rec.analytic_power_mw, prev - 1e-9);
+    prev = std::max(prev, rec.analytic_power_mw);
+  }
+}
+
+TEST_F(DseIntegration, DefaultScenarioLadderIsTheExpectedShape) {
+  // The headline qualitative reproduction, end to end at test scale:
+  // low bound -> star at low Tx power; high bound -> mesh TDMA.
+  model::Scenario sc;
+  Algorithm1Options low;
+  low.pdr_min = 0.55;
+  const ExplorationResult lo = run_algorithm1(sc, eval(), low);
+  ASSERT_TRUE(lo.feasible);
+  EXPECT_EQ(lo.best.routing.protocol, model::RoutingProtocol::kStar);
+  EXPECT_LT(lo.best.radio.tx_dbm, 0.0);
+
+  Algorithm1Options high;
+  high.pdr_min = 0.99;
+  const ExplorationResult hi_res = run_algorithm1(sc, eval(), high);
+  ASSERT_TRUE(hi_res.feasible);
+  EXPECT_EQ(hi_res.best.routing.protocol, model::RoutingProtocol::kMesh);
+  EXPECT_EQ(hi_res.best.mac.protocol, model::MacProtocol::kTdma);
+  EXPECT_DOUBLE_EQ(hi_res.best.radio.tx_dbm, 0.0);
+  // Reliability costs lifetime (Fig. 3's negative slope).
+  EXPECT_LT(hi_res.best_nlt_s, lo.best_nlt_s);
+}
+
+}  // namespace
+}  // namespace hi::dse

@@ -1,0 +1,223 @@
+// Unit and property tests for the two-phase simplex (lp/simplex.hpp).
+#include "lp/simplex.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace hi::lp {
+namespace {
+
+TEST(Simplex, SimpleMinimization) {
+  Problem p;
+  const int x = p.add_variable(0, kInf, 1.0, "x");
+  const int y = p.add_variable(0, kInf, 2.0, "y");
+  p.add_constraint({{x, 1.0}, {y, 1.0}}, Sense::kGreaterEqual, 3.0);
+  const Solution s = solve_simplex(p);
+  ASSERT_EQ(s.status, Status::kOptimal);
+  EXPECT_NEAR(s.objective, 3.0, 1e-9);
+  EXPECT_NEAR(s.x[x], 3.0, 1e-9);
+  EXPECT_NEAR(s.x[y], 0.0, 1e-9);
+}
+
+TEST(Simplex, SimpleMaximization) {
+  // max 3x + 5y  s.t. x <= 4, 2y <= 12, 3x + 2y <= 18 (classic Dantzig).
+  Problem p;
+  p.set_objective(Objective::kMaximize);
+  const int x = p.add_variable(0, kInf, 3.0, "x");
+  const int y = p.add_variable(0, kInf, 5.0, "y");
+  p.add_constraint({{x, 1.0}}, Sense::kLessEqual, 4.0);
+  p.add_constraint({{y, 2.0}}, Sense::kLessEqual, 12.0);
+  p.add_constraint({{x, 3.0}, {y, 2.0}}, Sense::kLessEqual, 18.0);
+  const Solution s = solve_simplex(p);
+  ASSERT_EQ(s.status, Status::kOptimal);
+  EXPECT_NEAR(s.objective, 36.0, 1e-9);
+  EXPECT_NEAR(s.x[x], 2.0, 1e-9);
+  EXPECT_NEAR(s.x[y], 6.0, 1e-9);
+}
+
+TEST(Simplex, DetectsInfeasibility) {
+  Problem p;
+  const int x = p.add_variable(0, kInf, 1.0);
+  p.add_constraint({{x, 1.0}}, Sense::kLessEqual, 1.0);
+  p.add_constraint({{x, 1.0}}, Sense::kGreaterEqual, 2.0);
+  EXPECT_EQ(solve_simplex(p).status, Status::kInfeasible);
+}
+
+TEST(Simplex, DetectsInfeasibleBoundsVsRow) {
+  Problem p;
+  const int x = p.add_variable(0.0, 0.5, -1.0);
+  p.add_constraint({{x, 1.0}}, Sense::kGreaterEqual, 1.0);
+  EXPECT_EQ(solve_simplex(p).status, Status::kInfeasible);
+}
+
+TEST(Simplex, DetectsUnboundedness) {
+  Problem p;
+  p.set_objective(Objective::kMaximize);
+  const int x = p.add_variable(0, kInf, 1.0);
+  p.add_constraint({{x, 1.0}}, Sense::kGreaterEqual, 1.0);
+  EXPECT_EQ(solve_simplex(p).status, Status::kUnbounded);
+}
+
+TEST(Simplex, EqualityConstraints) {
+  Problem p;
+  const int x = p.add_variable(0, kInf, 2.0);
+  const int y = p.add_variable(0, kInf, 3.0);
+  p.add_constraint({{x, 1.0}, {y, 1.0}}, Sense::kEqual, 4.0);
+  p.add_constraint({{x, 1.0}, {y, -1.0}}, Sense::kEqual, 2.0);
+  const Solution s = solve_simplex(p);
+  ASSERT_EQ(s.status, Status::kOptimal);
+  EXPECT_NEAR(s.x[x], 3.0, 1e-9);
+  EXPECT_NEAR(s.x[y], 1.0, 1e-9);
+  EXPECT_NEAR(s.objective, 9.0, 1e-9);
+}
+
+TEST(Simplex, RespectsVariableBounds) {
+  Problem p;
+  const int x = p.add_variable(1.0, 2.0, 1.0);
+  const Solution s = solve_simplex(p);
+  ASSERT_EQ(s.status, Status::kOptimal);
+  EXPECT_NEAR(s.x[x], 1.0, 1e-9);
+}
+
+TEST(Simplex, FixedVariableStaysFixed) {
+  // Regression: lower == upper must pin the variable (the branch-and-bound
+  // relies on it; an early version let fixed variables float).
+  Problem p;
+  p.set_objective(Objective::kMaximize);
+  const int x = p.add_variable(0.25, 0.25, 1.0);
+  const int y = p.add_variable(0.0, 1.0, 1.0);
+  p.add_constraint({{x, 1.0}, {y, 1.0}}, Sense::kLessEqual, 10.0);
+  const Solution s = solve_simplex(p);
+  ASSERT_EQ(s.status, Status::kOptimal);
+  EXPECT_NEAR(s.x[x], 0.25, 1e-9);
+  EXPECT_NEAR(s.x[y], 1.0, 1e-9);
+}
+
+TEST(Simplex, NegativeLowerBounds) {
+  Problem p;
+  const int x = p.add_variable(-5.0, 5.0, 1.0);
+  p.add_constraint({{x, 1.0}}, Sense::kGreaterEqual, -3.0);
+  const Solution s = solve_simplex(p);
+  ASSERT_EQ(s.status, Status::kOptimal);
+  EXPECT_NEAR(s.x[x], -3.0, 1e-9);
+}
+
+TEST(Simplex, FreeVariable) {
+  Problem p;
+  const int x = p.add_variable(-kInf, kInf, 1.0);
+  p.add_constraint({{x, 1.0}}, Sense::kGreaterEqual, -7.0);
+  const Solution s = solve_simplex(p);
+  ASSERT_EQ(s.status, Status::kOptimal);
+  EXPECT_NEAR(s.x[x], -7.0, 1e-9);
+}
+
+TEST(Simplex, UpperBoundedOnlyVariable) {
+  Problem p;
+  p.set_objective(Objective::kMaximize);
+  const int x = p.add_variable(-kInf, 3.0, 1.0);
+  const Solution s = solve_simplex(p);
+  ASSERT_EQ(s.status, Status::kOptimal);
+  EXPECT_NEAR(s.x[x], 3.0, 1e-9);
+}
+
+TEST(Simplex, DuplicateTermsAreSummed) {
+  Problem p;
+  const int x = p.add_variable(0, kInf, 1.0);
+  p.add_constraint({{x, 1.0}, {x, 1.0}}, Sense::kGreaterEqual, 4.0);
+  const Solution s = solve_simplex(p);
+  ASSERT_EQ(s.status, Status::kOptimal);
+  EXPECT_NEAR(s.x[x], 2.0, 1e-9);
+}
+
+TEST(Simplex, DegenerateProblemTerminates) {
+  // Klee-Minty-flavoured degeneracy; Bland's rule must terminate.
+  Problem p;
+  p.set_objective(Objective::kMaximize);
+  const int x1 = p.add_variable(0, kInf, 100.0);
+  const int x2 = p.add_variable(0, kInf, 10.0);
+  const int x3 = p.add_variable(0, kInf, 1.0);
+  p.add_constraint({{x1, 1.0}}, Sense::kLessEqual, 1.0);
+  p.add_constraint({{x1, 20.0}, {x2, 1.0}}, Sense::kLessEqual, 100.0);
+  p.add_constraint({{x1, 200.0}, {x2, 20.0}, {x3, 1.0}}, Sense::kLessEqual,
+                   10'000.0);
+  const Solution s = solve_simplex(p);
+  ASSERT_EQ(s.status, Status::kOptimal);
+  EXPECT_NEAR(s.objective, 10'000.0, 1e-6);
+}
+
+TEST(Simplex, ObjectiveValueAndFeasibilityHelpers) {
+  Problem p;
+  const int x = p.add_variable(0, 10, 2.0);
+  p.add_constraint({{x, 1.0}}, Sense::kLessEqual, 5.0);
+  EXPECT_DOUBLE_EQ(p.objective_value({3.0}), 6.0);
+  EXPECT_TRUE(p.is_feasible({3.0}));
+  EXPECT_FALSE(p.is_feasible({7.0}));   // violates row
+  EXPECT_FALSE(p.is_feasible({-1.0}));  // violates bound
+  EXPECT_GT(p.row_violation(0, {7.0}), 1.9);
+}
+
+// ---- Property suite: randomized problems --------------------------------
+
+struct RandomLpCase {
+  std::uint64_t seed;
+};
+
+class SimplexRandom : public ::testing::TestWithParam<RandomLpCase> {};
+
+// For maximization with all-nonnegative data the solver's optimum must
+// (a) be feasible and (b) dominate a cloud of random feasible points.
+TEST_P(SimplexRandom, DominatesRandomFeasiblePoints) {
+  Rng rng(GetParam().seed);
+  const int n = 2 + static_cast<int>(rng.uniform_index(4));
+  const int m = 1 + static_cast<int>(rng.uniform_index(4));
+  Problem p;
+  p.set_objective(Objective::kMaximize);
+  std::vector<double> ub(n);
+  for (int j = 0; j < n; ++j) {
+    ub[j] = rng.uniform(0.5, 4.0);
+    p.add_variable(0.0, ub[j], rng.uniform(0.0, 3.0));
+  }
+  std::vector<std::vector<double>> rows(m, std::vector<double>(n));
+  std::vector<double> rhs(m);
+  for (int r = 0; r < m; ++r) {
+    std::vector<Term> terms;
+    for (int j = 0; j < n; ++j) {
+      rows[r][j] = rng.uniform(0.0, 2.0);
+      terms.push_back({j, rows[r][j]});
+    }
+    rhs[r] = rng.uniform(0.5, 5.0);
+    p.add_constraint(terms, Sense::kLessEqual, rhs[r]);
+  }
+  const Solution s = solve_simplex(p);
+  ASSERT_EQ(s.status, Status::kOptimal);  // x = 0 is always feasible
+  EXPECT_TRUE(p.is_feasible(s.x, 1e-6));
+
+  // Sample random feasible points by scaling random box points into the
+  // feasible region; none may beat the solver.
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<double> x(n);
+    for (int j = 0; j < n; ++j) x[j] = rng.uniform(0.0, ub[j]);
+    double worst_scale = 1.0;
+    for (int r = 0; r < m; ++r) {
+      double lhs = 0.0;
+      for (int j = 0; j < n; ++j) lhs += rows[r][j] * x[j];
+      if (lhs > rhs[r]) worst_scale = std::min(worst_scale, rhs[r] / lhs);
+    }
+    for (double& v : x) v *= worst_scale;
+    ASSERT_TRUE(p.is_feasible(x, 1e-6));
+    EXPECT_LE(p.objective_value(x), s.objective + 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimplexRandom,
+                         ::testing::Values(RandomLpCase{1}, RandomLpCase{2},
+                                           RandomLpCase{3}, RandomLpCase{4},
+                                           RandomLpCase{5}, RandomLpCase{6},
+                                           RandomLpCase{7}, RandomLpCase{8},
+                                           RandomLpCase{9}, RandomLpCase{10},
+                                           RandomLpCase{11},
+                                           RandomLpCase{12}));
+
+}  // namespace
+}  // namespace hi::lp

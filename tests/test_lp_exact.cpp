@@ -1,0 +1,100 @@
+// Exactness property for the simplex: on random 2-variable LPs the
+// optimum must equal the best vertex found by brute-force enumeration of
+// all constraint-pair intersections (which is exhaustive in 2-D).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "lp/simplex.hpp"
+
+namespace hi::lp {
+namespace {
+
+struct Line {
+  // ax + by <= c
+  double a, b, c;
+};
+
+struct Case {
+  std::uint64_t seed;
+};
+
+class TwoVarExact : public ::testing::TestWithParam<Case> {};
+
+TEST_P(TwoVarExact, MatchesVertexEnumeration) {
+  Rng rng(GetParam().seed);
+  const double cx = rng.uniform(-2.0, 2.0);
+  const double cy = rng.uniform(-2.0, 2.0);
+  const double ux = rng.uniform(1.0, 5.0);
+  const double uy = rng.uniform(1.0, 5.0);
+  const int m = 2 + static_cast<int>(rng.uniform_index(4));
+
+  // Box bounds become lines too, so the vertex enumeration is complete.
+  std::vector<Line> lines = {
+      {-1.0, 0.0, 0.0},  // x >= 0
+      {0.0, -1.0, 0.0},  // y >= 0
+      {1.0, 0.0, ux},    // x <= ux
+      {0.0, 1.0, uy},    // y <= uy
+  };
+  Problem p;
+  const int x = p.add_variable(0.0, ux, cx);
+  const int y = p.add_variable(0.0, uy, cy);
+  p.set_objective(Objective::kMaximize);
+  for (int r = 0; r < m; ++r) {
+    const Line l{rng.uniform(-1.0, 2.0), rng.uniform(-1.0, 2.0),
+                 rng.uniform(0.5, 6.0)};
+    lines.push_back(l);
+    p.add_constraint({{x, l.a}, {y, l.b}}, Sense::kLessEqual, l.c);
+  }
+
+  // Brute force: intersect every pair of lines, keep feasible vertices.
+  const auto feasible = [&](double vx, double vy) {
+    for (const Line& l : lines) {
+      if (l.a * vx + l.b * vy > l.c + 1e-7) return false;
+    }
+    return true;
+  };
+  bool any = false;
+  double best = 0.0;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    for (std::size_t j = i + 1; j < lines.size(); ++j) {
+      const double det = lines[i].a * lines[j].b - lines[j].a * lines[i].b;
+      if (std::fabs(det) < 1e-9) continue;
+      const double vx =
+          (lines[i].c * lines[j].b - lines[j].c * lines[i].b) / det;
+      const double vy =
+          (lines[i].a * lines[j].c - lines[j].a * lines[i].c) / det;
+      if (!feasible(vx, vy)) continue;
+      const double obj = cx * vx + cy * vy;
+      if (!any || obj > best) {
+        any = true;
+        best = obj;
+      }
+    }
+  }
+
+  const Solution s = solve_simplex(p);
+  if (!any) {
+    // The box corner (0,0) is always a candidate vertex, so a feasible
+    // LP always yields at least one vertex; no vertex means infeasible.
+    EXPECT_EQ(s.status, Status::kInfeasible);
+    return;
+  }
+  ASSERT_EQ(s.status, Status::kOptimal);
+  EXPECT_NEAR(s.objective, best, 1e-6) << "seed " << GetParam().seed;
+  EXPECT_TRUE(p.is_feasible(s.x, 1e-6));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TwoVarExact,
+                         ::testing::Values(Case{201}, Case{202}, Case{203},
+                                           Case{204}, Case{205}, Case{206},
+                                           Case{207}, Case{208}, Case{209},
+                                           Case{210}, Case{211}, Case{212},
+                                           Case{213}, Case{214}, Case{215},
+                                           Case{216}, Case{217}, Case{218},
+                                           Case{219}, Case{220}));
+
+}  // namespace
+}  // namespace hi::lp

@@ -1,0 +1,218 @@
+// Unit tests for the MAC layer: CSMA backoff behaviour and TDMA slot
+// exclusivity (net/csma.hpp, net/tdma.hpp).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "channel/channel.hpp"
+#include "common/assert.hpp"
+#include "des/kernel.hpp"
+#include "net/csma.hpp"
+#include "net/medium.hpp"
+#include "net/tdma.hpp"
+
+namespace hi::net {
+namespace {
+
+class MacFixture : public ::testing::Test {
+ protected:
+  MacFixture() {
+    for (int i = 0; i < 4; ++i) {
+      for (int j = i + 1; j < 4; ++j) {
+        matrix_.set_db(i, j, 60.0);  // everyone hears everyone
+      }
+    }
+  }
+
+  void build_radios(int n) {
+    channel_.emplace(matrix_);
+    medium_.emplace(kernel_, *channel_);
+    for (int i = 0; i < n; ++i) {
+      radios_.push_back(
+          std::make_unique<Radio>(kernel_, *medium_, i, RadioParams{}));
+      medium_->attach(radios_.back().get());
+    }
+  }
+
+  CsmaMac& add_csma(int i, int buffer = 16) {
+    CsmaParams cp;
+    csmas_.push_back(std::make_unique<CsmaMac>(
+        kernel_, *radios_[static_cast<std::size_t>(i)], buffer, cp,
+        Rng{static_cast<std::uint64_t>(i) + 100}));
+    return *csmas_.back();
+  }
+
+  TdmaMac& add_tdma(int i, int slot, int num_slots, int buffer = 16) {
+    TdmaParams tp;
+    tp.slot_index = slot;
+    tp.num_slots = num_slots;
+    tdmas_.push_back(std::make_unique<TdmaMac>(
+        kernel_, *radios_[static_cast<std::size_t>(i)], buffer, tp));
+    return *tdmas_.back();
+  }
+
+  static Packet make_packet(int origin) {
+    Packet p;
+    p.origin = origin;
+    p.sender = origin;
+    p.bytes = 100;
+    return p;
+  }
+
+  des::Kernel kernel_;
+  channel::PathLossMatrix matrix_;
+  std::optional<channel::StaticChannel> channel_;
+  std::optional<Medium> medium_;
+  std::vector<std::unique_ptr<Radio>> radios_;
+  std::vector<std::unique_ptr<CsmaMac>> csmas_;
+  std::vector<std::unique_ptr<TdmaMac>> tdmas_;
+};
+
+TEST_F(MacFixture, CsmaSendsWhenIdle) {
+  build_radios(2);
+  CsmaMac& mac = add_csma(0);
+  int got = 0;
+  radios_[1]->on_receive = [&](const Packet&) { ++got; };
+  mac.enqueue(make_packet(0));
+  kernel_.run_until(1.0);
+  EXPECT_EQ(got, 1);
+  EXPECT_EQ(mac.stats().sent, 1u);
+  EXPECT_EQ(mac.stats().backoffs, 0u);
+}
+
+TEST_F(MacFixture, CsmaBacksOffWhenBusy) {
+  build_radios(3);
+  CsmaMac& a = add_csma(0);
+  CsmaMac& b = add_csma(1);
+  int got = 0;
+  radios_[2]->on_receive = [&](const Packet&) { ++got; };
+  a.enqueue(make_packet(0));
+  // Node 1 tries while node 0's packet is on the air (after the 200 us
+  // turnaround, the channel is busy for ~781 us).
+  kernel_.schedule_at(400e-6, [&] { b.enqueue(make_packet(1)); });
+  kernel_.run_until(1.0);
+  EXPECT_EQ(got, 2);  // both eventually delivered
+  EXPECT_GE(b.stats().backoffs, 1u);
+}
+
+TEST_F(MacFixture, CsmaTurnaroundVulnerabilityCollides) {
+  build_radios(3);
+  CsmaMac& a = add_csma(0);
+  CsmaMac& b = add_csma(1);
+  int got = 0;
+  radios_[2]->on_receive = [&](const Packet&) { ++got; };
+  // Both sense an idle medium within the same turnaround window.
+  a.enqueue(make_packet(0));
+  b.enqueue(make_packet(1));
+  kernel_.run_until(0.01);
+  EXPECT_EQ(got, 0);  // equal powers: collision at node 2
+  EXPECT_EQ(radios_[2]->stats().rx_corrupted, 1u);
+}
+
+TEST_F(MacFixture, CsmaBufferOverflowDrops) {
+  build_radios(2);
+  CsmaMac& mac = add_csma(0, /*buffer=*/2);
+  // The first packet goes in flight quickly; flood faster than 1/Tpkt.
+  for (int i = 0; i < 10; ++i) {
+    mac.enqueue(make_packet(0));
+  }
+  EXPECT_GT(mac.stats().dropped_buffer, 0u);
+  kernel_.run_until(1.0);
+  EXPECT_EQ(mac.stats().enqueued, 10u);
+  EXPECT_EQ(mac.stats().sent + mac.stats().dropped_buffer, 10u);
+}
+
+TEST_F(MacFixture, CsmaDrainsQueueInOrder) {
+  build_radios(2);
+  CsmaMac& mac = add_csma(0);
+  std::vector<std::uint32_t> got;
+  radios_[1]->on_receive = [&](const Packet& p) { got.push_back(p.seq); };
+  for (std::uint32_t s = 0; s < 5; ++s) {
+    Packet p = make_packet(0);
+    p.seq = s;
+    mac.enqueue(p);
+  }
+  kernel_.run_until(1.0);
+  EXPECT_EQ(got, (std::vector<std::uint32_t>{0, 1, 2, 3, 4}));
+}
+
+TEST_F(MacFixture, TdmaNeverCollides) {
+  build_radios(4);
+  std::vector<TdmaMac*> macs;
+  for (int i = 0; i < 4; ++i) {
+    macs.push_back(&add_tdma(i, i, 4));
+  }
+  // Saturate all queues repeatedly.
+  for (int burst = 0; burst < 5; ++burst) {
+    kernel_.schedule_at(burst * 0.05, [this, &macs] {
+      for (int i = 0; i < 4; ++i) {
+        Packet p = make_packet(i);
+        macs[static_cast<std::size_t>(i)]->enqueue(p);
+      }
+      (void)this;
+    });
+  }
+  kernel_.run_until(1.0);
+  for (const auto& r : radios_) {
+    EXPECT_EQ(r->stats().rx_corrupted, 0u);
+    EXPECT_EQ(r->stats().rx_missed, 0u);
+  }
+  // Everything sent and everyone heard everyone: 5 packets x 3 receivers.
+  for (const auto& r : radios_) {
+    EXPECT_EQ(r->stats().tx_packets, 5u);
+    EXPECT_EQ(r->stats().rx_ok, 15u);
+  }
+}
+
+TEST_F(MacFixture, TdmaRespectsOwnSlotTiming) {
+  build_radios(2);
+  TdmaMac& mac = add_tdma(0, /*slot=*/1, /*num_slots=*/4);
+  double first_rx_start = -1.0;
+  radios_[1]->on_receive = [&](const Packet&) {
+    // signal_end time = tx start + airtime
+    if (first_rx_start < 0) {
+      first_rx_start = kernel_.now() - radios_[0]->packet_airtime_s(100);
+    }
+  };
+  mac.enqueue(make_packet(0));
+  kernel_.run_until(0.1);
+  // Slot 1 of a 4 x 1 ms frame starts at t = 1 ms (+ k*4 ms).
+  ASSERT_GE(first_rx_start, 0.0);
+  const double frame = 4e-3;
+  const double offset = std::fmod(first_rx_start - 1e-3 + 10 * frame, frame);
+  EXPECT_NEAR(std::min(offset, frame - offset), 0.0, 1e-9);
+}
+
+TEST_F(MacFixture, TdmaQueuesUntilNextOwnSlot) {
+  build_radios(2);
+  TdmaMac& mac = add_tdma(0, 0, 2);
+  int got = 0;
+  radios_[1]->on_receive = [&](const Packet&) { ++got; };
+  // Enqueue 3 packets at once: they drain one per frame (2 ms).
+  for (int i = 0; i < 3; ++i) mac.enqueue(make_packet(0));
+  kernel_.run_until(3.9e-3);  // two frames: at most 2 sent
+  EXPECT_LE(got, 2);
+  kernel_.run_until(0.1);
+  EXPECT_EQ(got, 3);
+}
+
+TEST_F(MacFixture, TdmaRejectsBadSlotConfig) {
+  build_radios(1);
+  TdmaParams tp;
+  tp.slot_index = 3;
+  tp.num_slots = 2;
+  EXPECT_THROW(TdmaMac(kernel_, *radios_[0], 16, tp), ModelError);
+}
+
+TEST_F(MacFixture, MacRejectsZeroBuffer) {
+  build_radios(1);
+  CsmaParams cp;
+  EXPECT_THROW(CsmaMac(kernel_, *radios_[0], 0, cp, Rng{1}), ModelError);
+}
+
+}  // namespace
+}  // namespace hi::net

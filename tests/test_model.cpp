@@ -1,0 +1,269 @@
+// Unit tests for configuration types, the component library (paper
+// Table 1), the analytic power models (Eqs. 3/5/9), and the design-space
+// enumeration (model/*).
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/units.hpp"
+#include "model/design_space.hpp"
+#include "model/power.hpp"
+
+namespace hi::model {
+namespace {
+
+TEST(Topology, MaskAndLocationsRoundTrip) {
+  const Topology t = Topology::from_locations({0, 1, 3, 6});
+  EXPECT_EQ(t.count(), 4);
+  EXPECT_TRUE(t.has(0));
+  EXPECT_TRUE(t.has(6));
+  EXPECT_FALSE(t.has(2));
+  EXPECT_EQ(t.locations(), (std::vector<int>{0, 1, 3, 6}));
+  EXPECT_EQ(Topology::from_mask(t.mask()), t);
+  EXPECT_EQ(t.to_string(), "[0,1,3,6]");
+}
+
+TEST(Topology, SetAndClear) {
+  Topology t;
+  t.set(5, true);
+  EXPECT_TRUE(t.has(5));
+  t.set(5, false);
+  EXPECT_FALSE(t.has(5));
+  EXPECT_EQ(t.count(), 0);
+}
+
+TEST(Topology, RejectsBadInput) {
+  EXPECT_THROW(Topology::from_locations({0, 0}), ModelError);
+  EXPECT_THROW(Topology::from_mask(1u << 10), ModelError);
+  Topology t;
+  EXPECT_THROW(t.set(10, true), ModelError);
+  EXPECT_THROW((void)t.has(-1), ModelError);
+}
+
+TEST(Library, Cc2650MatchesPaperTable1) {
+  const RadioChip& chip = cc2650();
+  EXPECT_DOUBLE_EQ(chip.fc_hz, 2.4e9);
+  EXPECT_DOUBLE_EQ(chip.bit_rate_bps, 1.024e6);
+  EXPECT_DOUBLE_EQ(chip.rx_dbm, -97.0);
+  EXPECT_DOUBLE_EQ(chip.rx_mw, 17.7);
+  ASSERT_EQ(chip.num_tx_levels(), 3);
+  EXPECT_DOUBLE_EQ(chip.tx_levels[0].dbm, -20.0);
+  EXPECT_DOUBLE_EQ(chip.tx_levels[0].mw, 9.55);
+  EXPECT_DOUBLE_EQ(chip.tx_levels[1].dbm, -10.0);
+  EXPECT_DOUBLE_EQ(chip.tx_levels[1].mw, 11.56);
+  EXPECT_DOUBLE_EQ(chip.tx_levels[2].dbm, 0.0);
+  EXPECT_DOUBLE_EQ(chip.tx_levels[2].mw, 18.3);
+}
+
+TEST(Library, ConfigureSelectsLevel) {
+  const RadioConfig r = cc2650().configure(1);
+  EXPECT_DOUBLE_EQ(r.tx_dbm, -10.0);
+  EXPECT_DOUBLE_EQ(r.tx_mw, 11.56);
+  EXPECT_DOUBLE_EQ(r.rx_dbm, -97.0);
+  EXPECT_THROW((void)cc2650().configure(3), ModelError);
+  EXPECT_THROW((void)cc2650().configure(-1), ModelError);
+}
+
+TEST(Power, PacketDurationFromTable1) {
+  const RadioConfig r = cc2650().configure(2);
+  AppConfig app;  // 100 bytes
+  EXPECT_DOUBLE_EQ(packet_duration_s(r, app), 781.25e-6);
+}
+
+TEST(Power, MeshRetxBoundFormula) {
+  // NreTx = N^2 - 4N + 5 (paper Sec. 4.1).
+  EXPECT_DOUBLE_EQ(mesh_retx_bound(2), 1.0);
+  EXPECT_DOUBLE_EQ(mesh_retx_bound(4), 5.0);
+  EXPECT_DOUBLE_EQ(mesh_retx_bound(5), 10.0);
+  EXPECT_DOUBLE_EQ(mesh_retx_bound(6), 17.0);
+  EXPECT_THROW((void)mesh_retx_bound(1), ModelError);
+}
+
+TEST(Power, PerRoundRadioEq3) {
+  const RadioConfig r = cc2650().configure(2);
+  // Eq. (3): TxmW + (N-1) RxmW = 18.3 + 3 * 17.7 = 71.4 mW.
+  EXPECT_DOUBLE_EQ(per_round_radio_mw(r, 4), 71.4);
+}
+
+TEST(Power, StarRadioPowerEq5HandComputed) {
+  const RadioConfig r = cc2650().configure(2);
+  AppConfig app;  // phi = 10, L = 100
+  // phi*Tpkt*(Tx + 2(N-1)Rx) = 10 * 781.25e-6 * (18.3 + 6*17.7)
+  const double expected = 10.0 * 781.25e-6 * (18.3 + 6.0 * 17.7);
+  EXPECT_NEAR(radio_power_mw(r, app, RoutingProtocol::kStar, 4), expected,
+              1e-12);
+}
+
+TEST(Power, MeshRadioPowerEq5HandComputed) {
+  const RadioConfig r = cc2650().configure(2);
+  AppConfig app;
+  // phi*Tpkt*NreTx*(Tx + (N-1)Rx) = 10*781.25e-6*5*(18.3 + 3*17.7)
+  const double expected = 10.0 * 781.25e-6 * 5.0 * (18.3 + 3.0 * 17.7);
+  EXPECT_NEAR(radio_power_mw(r, app, RoutingProtocol::kMesh, 4), expected,
+              1e-12);
+}
+
+TEST(Power, NodePowerEq9AddsBaseline) {
+  Scenario sc;
+  const NetworkConfig cfg = sc.make_config(
+      Topology::from_locations({0, 1, 3, 5}), 2, MacProtocol::kCsma,
+      RoutingProtocol::kStar);
+  EXPECT_NEAR(node_power_mw(cfg),
+              0.1 + radio_power_mw(cfg.radio, cfg.app,
+                                   RoutingProtocol::kStar, 4),
+              1e-12);
+}
+
+TEST(Power, LifetimeEq4) {
+  // 2430 J at 1 mW = 2.43e6 s ~ 28.1 days.
+  EXPECT_DOUBLE_EQ(lifetime_s(2430.0, 1.0), 2.43e6);
+  EXPECT_NEAR(seconds_to_days(lifetime_s(2430.0, 1.0)), 28.125, 1e-9);
+  EXPECT_THROW((void)lifetime_s(0.0, 1.0), ModelError);
+  EXPECT_THROW((void)lifetime_s(1.0, 0.0), ModelError);
+}
+
+TEST(Power, MeshCostsMoreThanStarAnalytically) {
+  Scenario sc;
+  const Topology t = Topology::from_locations({0, 1, 3, 5});
+  for (int lvl = 0; lvl < 3; ++lvl) {
+    const auto star =
+        sc.make_config(t, lvl, MacProtocol::kCsma, RoutingProtocol::kStar);
+    const auto mesh =
+        sc.make_config(t, lvl, MacProtocol::kCsma, RoutingProtocol::kMesh);
+    EXPECT_GT(node_power_mw(mesh), node_power_mw(star));
+    EXPECT_LT(analytic_nlt_s(mesh), analytic_nlt_s(star));
+  }
+}
+
+TEST(Power, HigherTxLevelCostsMore) {
+  Scenario sc;
+  const Topology t = Topology::from_locations({0, 1, 3, 5});
+  double prev = 0.0;
+  for (int lvl = 0; lvl < 3; ++lvl) {
+    const auto cfg =
+        sc.make_config(t, lvl, MacProtocol::kCsma, RoutingProtocol::kStar);
+    EXPECT_GT(node_power_mw(cfg), prev);
+    prev = node_power_mw(cfg);
+  }
+}
+
+TEST(Power, AlphaFactorProperties) {
+  Scenario sc;
+  const auto cfg = sc.make_config(Topology::from_locations({0, 1, 3, 5}), 2,
+                                  MacProtocol::kCsma, RoutingProtocol::kStar);
+  // alpha >= 1 always; alpha(PDR=1) accounts only for relay savings.
+  EXPECT_GE(alpha_factor(cfg, 1.0), 1.0);
+  // Lower reliability bound => more packets may be lost => lower possible
+  // power => larger alpha.
+  EXPECT_GT(alpha_factor(cfg, 0.5), alpha_factor(cfg, 0.9));
+  EXPECT_GT(alpha_factor(cfg, 0.0), alpha_factor(cfg, 0.5));
+  EXPECT_THROW((void)alpha_factor(cfg, 1.5), ModelError);
+}
+
+TEST(Power, PowerLowerBoundBelowAnalytic) {
+  Scenario sc;
+  for (const auto rt : {RoutingProtocol::kStar, RoutingProtocol::kMesh}) {
+    const auto cfg = sc.make_config(Topology::from_locations({0, 2, 4, 6}),
+                                    1, MacProtocol::kTdma, rt);
+    for (double pdr : {0.0, 0.5, 0.9, 1.0}) {
+      EXPECT_LE(power_lower_bound_mw(cfg, pdr), node_power_mw(cfg));
+      EXPECT_GE(power_lower_bound_mw(cfg, pdr), cfg.app.baseline_mw);
+    }
+    EXPECT_GT(power_lower_bound_mw(cfg, 0.9), cfg.app.baseline_mw);
+    EXPECT_THROW((void)power_lower_bound_mw(cfg, 0.9, 0.0), ModelError);
+    EXPECT_THROW((void)power_lower_bound_mw(cfg, 0.9, 1.5), ModelError);
+  }
+}
+
+TEST(Config, LabelMatchesPaperStyle) {
+  Scenario sc;
+  const auto cfg = sc.make_config(Topology::from_locations({0, 1, 3, 6}), 1,
+                                  MacProtocol::kCsma, RoutingProtocol::kStar);
+  EXPECT_EQ(cfg.label(), "[0,1,3,6], Star, CSMA, -10dBm");
+}
+
+TEST(Config, DesignKeyIsInjectiveOverChoices) {
+  Scenario sc;
+  std::set<std::uint64_t> keys;
+  int total = 0;
+  for (const auto& cfg : sc.feasible_configs()) {
+    keys.insert(cfg.design_key());
+    ++total;
+  }
+  EXPECT_EQ(static_cast<int>(keys.size()), total);
+}
+
+TEST(Scenario, TopologyFeasibility) {
+  Scenario sc;
+  EXPECT_TRUE(sc.topology_feasible(Topology::from_locations({0, 1, 3, 5})));
+  EXPECT_TRUE(
+      sc.topology_feasible(Topology::from_locations({0, 2, 4, 6, 7, 8})));
+  // Missing chest.
+  EXPECT_FALSE(sc.topology_feasible(Topology::from_locations({1, 2, 3, 5})));
+  // Missing a foot node.
+  EXPECT_FALSE(sc.topology_feasible(Topology::from_locations({0, 1, 5, 7})));
+  // Too many nodes (7).
+  EXPECT_FALSE(sc.topology_feasible(
+      Topology::from_locations({0, 1, 2, 3, 4, 5, 6})));
+  // Too few nodes.
+  EXPECT_FALSE(sc.topology_feasible(Topology::from_locations({0, 1, 3})));
+}
+
+TEST(Scenario, DependencyConstraintsFilterTopologies) {
+  // Paper Sec. 2.1: "location i be used if location j is used",
+  // n_j - n_i <= 0.  Require the head (8) to be accompanied by the
+  // left upper arm (7).
+  Scenario sc;
+  sc.dependencies.push_back({8, 7, "EEG reference electrode"});
+  EXPECT_FALSE(
+      sc.topology_feasible(Topology::from_locations({0, 1, 3, 5, 8})));
+  EXPECT_TRUE(
+      sc.topology_feasible(Topology::from_locations({0, 1, 3, 5, 8, 7})));
+  EXPECT_TRUE(
+      sc.topology_feasible(Topology::from_locations({0, 1, 3, 5})));
+  // The feasible set shrinks accordingly.
+  Scenario base;
+  EXPECT_LT(sc.feasible_topologies().size(),
+            base.feasible_topologies().size());
+}
+
+TEST(Scenario, RawDesignSpaceIs12288) {
+  // Paper Sec. 4.1: 2^10 topologies x 3 Tx levels x 2 MAC x 2 routing.
+  Scenario sc;
+  EXPECT_EQ(sc.raw_design_space_size(), 12'288u);
+}
+
+TEST(Scenario, FeasibleTopologyCountMatchesDirectEnumeration) {
+  Scenario sc;
+  // Count by brute force over the placement lattice.
+  int expected = 0;
+  for (std::uint32_t mask = 0; mask < 1024; ++mask) {
+    const Topology t = Topology::from_mask(static_cast<std::uint16_t>(mask));
+    if (sc.topology_feasible(t)) ++expected;
+  }
+  EXPECT_EQ(static_cast<int>(sc.feasible_topologies().size()), expected);
+  EXPECT_GT(expected, 0);
+  // Each feasible topology expands to 3 x 2 x 2 = 12 design points.
+  EXPECT_EQ(sc.feasible_configs().size(),
+            static_cast<std::size_t>(expected) * 12u);
+}
+
+TEST(Scenario, MakeConfigWiresEverything) {
+  Scenario sc;
+  const auto cfg = sc.make_config(Topology::from_locations({0, 1, 4, 5}), 0,
+                                  MacProtocol::kTdma, RoutingProtocol::kMesh);
+  EXPECT_EQ(cfg.tx_level_index, 0);
+  EXPECT_DOUBLE_EQ(cfg.radio.tx_dbm, -20.0);
+  EXPECT_EQ(cfg.mac.protocol, MacProtocol::kTdma);
+  EXPECT_DOUBLE_EQ(cfg.mac.slot_s, 1e-3);
+  EXPECT_EQ(cfg.routing.protocol, RoutingProtocol::kMesh);
+  EXPECT_EQ(cfg.routing.max_hops, 2);
+  EXPECT_EQ(cfg.routing.coordinator, 0);
+  EXPECT_DOUBLE_EQ(cfg.battery_j, 2430.0);
+  EXPECT_DOUBLE_EQ(cfg.app.baseline_mw, 0.1);
+}
+
+}  // namespace
+}  // namespace hi::model

@@ -1,0 +1,223 @@
+// Unit tests for the physical layer: Radio reception/capture/energy and
+// Medium propagation (net/radio.hpp, net/medium.hpp).
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <vector>
+
+#include "channel/channel.hpp"
+#include "des/kernel.hpp"
+#include "net/medium.hpp"
+#include "net/radio.hpp"
+
+namespace hi::net {
+namespace {
+
+/// Two/three radios on a controllable static channel.
+class RadioFixture : public ::testing::Test {
+ protected:
+  RadioFixture() {
+    matrix_.set_db(0, 1, 60.0);
+    matrix_.set_db(0, 2, 60.0);
+    matrix_.set_db(1, 2, 60.0);
+  }
+
+  /// Builds the world after the test adjusted `matrix_` / params.
+  void build(int radios = 2) {
+    channel_.emplace(matrix_);
+    medium_.emplace(kernel_, *channel_);
+    for (int i = 0; i < radios; ++i) {
+      RadioParams p = params_;
+      nodes_.push_back(std::make_unique<Radio>(kernel_, *medium_, i, p));
+      medium_->attach(nodes_.back().get());
+    }
+  }
+
+  Radio& radio(int i) { return *nodes_[static_cast<std::size_t>(i)]; }
+
+  Packet make_packet(int origin, int bytes = 100) {
+    Packet p;
+    p.origin = origin;
+    p.sender = origin;
+    p.bytes = bytes;
+    p.visited = static_cast<std::uint16_t>(1u << origin);
+    return p;
+  }
+
+  des::Kernel kernel_;
+  channel::PathLossMatrix matrix_;
+  std::optional<channel::StaticChannel> channel_;
+  std::optional<Medium> medium_;
+  RadioParams params_{};  // 0 dBm, -97 dBm sensitivity by default
+  std::vector<std::unique_ptr<Radio>> nodes_;
+};
+
+TEST_F(RadioFixture, DeliversAboveSensitivity) {
+  build();
+  std::vector<Packet> got;
+  radio(1).on_receive = [&](const Packet& p) { got.push_back(p); };
+  radio(0).transmit(make_packet(0));
+  kernel_.run_until(1.0);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].origin, 0);
+  EXPECT_EQ(got[0].sender, 0);
+  EXPECT_EQ(radio(1).stats().rx_ok, 1u);
+  EXPECT_EQ(medium_->stats().deliveries_offered, 1u);
+}
+
+TEST_F(RadioFixture, DropsBelowSensitivity) {
+  matrix_.set_db(0, 1, 98.0);  // 0 dBm - 98 dB = -98 < -97 sensitivity
+  build();
+  bool got = false;
+  radio(1).on_receive = [&](const Packet&) { got = true; };
+  radio(0).transmit(make_packet(0));
+  kernel_.run_until(1.0);
+  EXPECT_FALSE(got);
+  EXPECT_EQ(medium_->stats().below_sensitivity, 1u);
+  EXPECT_EQ(radio(1).stats().rx_ok, 0u);
+  // Unheard packets cost no receive energy (paper's Eq. 3 accounting).
+  EXPECT_DOUBLE_EQ(radio(1).rx_energy_mj(), 0.0);
+}
+
+TEST_F(RadioFixture, ExactSensitivityBoundaryIsReceived) {
+  matrix_.set_db(0, 1, 97.0);  // exactly -97 dBm at the receiver
+  build();
+  bool got = false;
+  radio(1).on_receive = [&](const Packet&) { got = true; };
+  radio(0).transmit(make_packet(0));
+  kernel_.run_until(1.0);
+  EXPECT_TRUE(got);
+}
+
+TEST_F(RadioFixture, OverlappingEqualPowerTransmissionsCollide) {
+  build(3);
+  bool got = false;
+  radio(2).on_receive = [&](const Packet&) { got = true; };
+  radio(0).transmit(make_packet(0));
+  radio(1).transmit(make_packet(1));  // same instant, equal rx power
+  kernel_.run_until(1.0);
+  EXPECT_FALSE(got);
+  EXPECT_EQ(radio(2).stats().rx_corrupted, 1u);
+  EXPECT_EQ(radio(2).stats().rx_missed, 1u);
+}
+
+TEST_F(RadioFixture, CaptureStrongerSignalSurvives) {
+  matrix_.set_db(0, 2, 50.0);  // wanted signal much stronger
+  matrix_.set_db(1, 2, 75.0);  // interferer 25 dB below (> 10 dB capture)
+  build(3);
+  int got_from = -1;
+  radio(2).on_receive = [&](const Packet& p) { got_from = p.origin; };
+  radio(0).transmit(make_packet(0));
+  radio(1).transmit(make_packet(1));
+  kernel_.run_until(1.0);
+  EXPECT_EQ(got_from, 0);
+  EXPECT_EQ(radio(2).stats().rx_ok, 1u);
+}
+
+TEST_F(RadioFixture, LateStrongInterferenceCorruptsOngoingDecode) {
+  matrix_.set_db(0, 2, 70.0);
+  matrix_.set_db(1, 2, 65.0);  // within 10 dB capture window
+  build(3);
+  bool got = false;
+  radio(2).on_receive = [&](const Packet&) { got = true; };
+  radio(0).transmit(make_packet(0));
+  kernel_.schedule_in(100e-6, [&] { radio(1).transmit(make_packet(1)); });
+  kernel_.run_until(1.0);
+  EXPECT_FALSE(got);
+  EXPECT_EQ(radio(2).stats().rx_corrupted, 1u);
+}
+
+TEST_F(RadioFixture, HalfDuplexCannotHearWhileTransmitting) {
+  build();
+  bool got = false;
+  radio(1).on_receive = [&](const Packet&) { got = true; };
+  radio(1).transmit(make_packet(1));
+  radio(0).transmit(make_packet(0));  // starts while 1 is still talking
+  kernel_.run_until(1.0);
+  EXPECT_FALSE(got);
+  EXPECT_EQ(radio(1).stats().rx_missed, 1u);
+}
+
+TEST_F(RadioFixture, TransmitAbortsOngoingDecode) {
+  build();
+  bool got = false;
+  radio(1).on_receive = [&](const Packet&) { got = true; };
+  radio(0).transmit(make_packet(0));
+  kernel_.schedule_in(100e-6, [&] { radio(1).transmit(make_packet(1)); });
+  kernel_.run_until(1.0);
+  EXPECT_FALSE(got);
+  EXPECT_EQ(radio(1).stats().rx_aborted, 1u);
+}
+
+TEST_F(RadioFixture, TxDoneCallbackFiresAfterAirtime) {
+  build();
+  double done_at = -1.0;
+  radio(0).on_tx_done = [&] { done_at = kernel_.now(); };
+  radio(0).transmit(make_packet(0));
+  EXPECT_TRUE(radio(0).transmitting());
+  kernel_.run_until(1.0);
+  EXPECT_FALSE(radio(0).transmitting());
+  EXPECT_DOUBLE_EQ(done_at, radio(0).packet_airtime_s(100));
+}
+
+TEST_F(RadioFixture, EnergyMetering) {
+  build();
+  radio(1).on_receive = [](const Packet&) {};
+  radio(0).transmit(make_packet(0));
+  kernel_.run_until(1.0);
+  const double airtime = radio(0).packet_airtime_s(100);
+  EXPECT_NEAR(radio(0).tx_energy_mj(), airtime * params_.tx_mw, 1e-12);
+  EXPECT_DOUBLE_EQ(radio(0).rx_energy_mj(), 0.0);
+  EXPECT_NEAR(radio(1).rx_energy_mj(), airtime * params_.rx_mw, 1e-12);
+  EXPECT_DOUBLE_EQ(radio(1).tx_energy_mj(), 0.0);
+}
+
+TEST_F(RadioFixture, CorruptedDecodeStillCostsRxEnergy) {
+  build(3);
+  radio(0).transmit(make_packet(0));
+  radio(1).transmit(make_packet(1));
+  kernel_.run_until(1.0);
+  EXPECT_GT(radio(2).rx_energy_mj(), 0.0);
+}
+
+TEST_F(RadioFixture, CarrierSenseSeesOngoingTransmission) {
+  build();
+  EXPECT_FALSE(radio(1).channel_busy());
+  radio(0).transmit(make_packet(0));
+  EXPECT_TRUE(radio(1).channel_busy());
+  EXPECT_TRUE(radio(0).channel_busy());  // own tx counts as busy
+  kernel_.run_until(1.0);
+  EXPECT_FALSE(radio(1).channel_busy());
+}
+
+TEST_F(RadioFixture, CarrierSenseBlindBelowSensitivity) {
+  matrix_.set_db(0, 1, 99.0);  // hidden terminal
+  build();
+  radio(0).transmit(make_packet(0));
+  EXPECT_FALSE(radio(1).channel_busy());
+  kernel_.run_until(1.0);
+}
+
+TEST_F(RadioFixture, PacketAirtimeMatchesBitRate) {
+  build();
+  EXPECT_DOUBLE_EQ(radio(0).packet_airtime_s(100), 800.0 / 1.024e6);
+  EXPECT_DOUBLE_EQ(radio(0).packet_airtime_s(128), 1024.0 / 1.024e6);
+}
+
+TEST_F(RadioFixture, BackToBackTransmissionsBothDelivered) {
+  build();
+  int got = 0;
+  radio(1).on_receive = [&](const Packet&) { ++got; };
+  radio(0).on_tx_done = [&] {
+    if (got == 0 || radio(0).stats().tx_packets == 1) {
+      radio(0).transmit(make_packet(0));
+    }
+  };
+  radio(0).transmit(make_packet(0));
+  kernel_.run_until(1.0);
+  EXPECT_EQ(got, 2);
+  EXPECT_EQ(radio(0).stats().tx_packets, 2u);
+}
+
+}  // namespace
+}  // namespace hi::net

@@ -1,0 +1,102 @@
+// Unit tests for the exploration-result reporting (dse/report.hpp).
+#include "dse/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "dse/exhaustive.hpp"
+
+namespace hi::dse {
+namespace {
+
+ExplorationResult tiny_result() {
+  EvaluatorSettings s;
+  s.sim.duration_s = 5.0;
+  s.sim.seed = 3;
+  s.runs = 1;
+  Evaluator ev(s);
+  model::Scenario sc;
+  sc.max_nodes = 4;
+  return run_exhaustive(sc, ev, 0.0);
+}
+
+TEST(Report, CsvHasHeaderAndOneRowPerCandidate) {
+  const ExplorationResult res = tiny_result();
+  std::ostringstream oss;
+  write_history_csv(res, oss);
+  const std::string csv = oss.str();
+  std::size_t lines = 0;
+  for (char c : csv) lines += c == '\n';
+  EXPECT_EQ(lines, res.history.size() + 1);  // header + rows
+  EXPECT_NE(csv.find("sim_pdr"), std::string::npos);
+  EXPECT_NE(csv.find("Star"), std::string::npos);
+  EXPECT_NE(csv.find("Mesh"), std::string::npos);
+}
+
+TEST(Report, CsvQuotesLabels) {
+  const ExplorationResult res = tiny_result();
+  std::ostringstream oss;
+  write_history_csv(res, oss);
+  // Labels contain commas; they must be quoted to stay one CSV field.
+  EXPECT_NE(oss.str().find("\"[0,"), std::string::npos);
+}
+
+TEST(Report, SummaryFeasible) {
+  ExplorationResult res = tiny_result();
+  res.feasible = true;
+  res.best = res.history.front().cfg;
+  res.best_pdr = 0.93;
+  res.best_nlt_s = 86'400.0 * 20;
+  res.best_power_mw = 1.234;
+  const std::string s = summarize(res, 0.9);
+  EXPECT_NE(s.find("93.0%"), std::string::npos);
+  EXPECT_NE(s.find("20.0 days"), std::string::npos);
+  EXPECT_NE(s.find("1.234 mW"), std::string::npos);
+}
+
+TEST(Report, ParetoFrontIsNonDominatedStaircase) {
+  const ExplorationResult res = tiny_result();
+  const std::vector<CandidateRecord> front = pareto_front(res.history);
+  ASSERT_GE(front.size(), 2u);
+  for (std::size_t i = 1; i < front.size(); ++i) {
+    // Ascending PDR, strictly descending NLT.
+    EXPECT_GE(front[i].sim_pdr, front[i - 1].sim_pdr);
+    EXPECT_LT(front[i].sim_nlt_s, front[i - 1].sim_nlt_s);
+  }
+  // No history point dominates a front point.
+  for (const CandidateRecord& f : front) {
+    for (const CandidateRecord& h : res.history) {
+      EXPECT_FALSE(h.sim_pdr > f.sim_pdr && h.sim_nlt_s > f.sim_nlt_s)
+          << h.cfg.label() << " dominates " << f.cfg.label();
+    }
+  }
+}
+
+TEST(Report, ParetoFrontCollapsesDuplicates) {
+  ExplorationResult res = tiny_result();
+  // Duplicate the whole history: the front must not change size.
+  const std::vector<CandidateRecord> once = pareto_front(res.history);
+  auto twice_hist = res.history;
+  twice_hist.insert(twice_hist.end(), res.history.begin(),
+                    res.history.end());
+  const std::vector<CandidateRecord> twice = pareto_front(twice_hist);
+  EXPECT_EQ(once.size(), twice.size());
+}
+
+TEST(Report, ParetoFrontOfEmptyHistoryIsEmpty) {
+  EXPECT_TRUE(pareto_front({}).empty());
+}
+
+TEST(Report, SummaryInfeasible) {
+  ExplorationResult res;
+  res.feasible = false;
+  res.simulations = 42;
+  const std::string s = summarize(res, 0.99);
+  EXPECT_NE(s.find("infeasible"), std::string::npos);
+  EXPECT_NE(s.find("99.0%"), std::string::npos);
+  EXPECT_NE(s.find("42"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hi::dse

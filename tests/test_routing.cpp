@@ -1,0 +1,324 @@
+// Unit tests for the routing layer: star coordinator echo and mesh
+// controlled flooding with unicast destinations (net/routing.hpp).
+#include "net/routing.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "channel/channel.hpp"
+#include "common/assert.hpp"
+#include "des/kernel.hpp"
+#include "net/csma.hpp"
+#include "net/medium.hpp"
+#include "net/tdma.hpp"
+
+namespace hi::net {
+namespace {
+
+/// A small fully-wired network with selectable routing/MAC, on a static
+/// channel whose links the tests can cut (by setting 120 dB path loss).
+class RoutingFixture : public ::testing::Test {
+ protected:
+  void connect_all(int n, double pl = 60.0) {
+    n_ = n;
+    for (int i = 0; i < n; ++i) {
+      for (int j = i + 1; j < n; ++j) {
+        matrix_.set_db(i, j, pl);
+      }
+    }
+  }
+
+  void cut_link(int i, int j) { matrix_.set_db(i, j, 120.0); }
+
+  void build_star(int coordinator) {
+    build([&](Mac& mac, int loc) {
+      return std::make_unique<StarRouting>(mac, loc, coordinator);
+    });
+  }
+
+  void build_mesh(int max_hops) {
+    build([&](Mac& mac, int loc) {
+      return std::make_unique<MeshRouting>(mac, loc, max_hops);
+    });
+  }
+
+  void build_mesh_tdma(int max_hops) {
+    use_tdma_ = true;
+    build_mesh(max_hops);
+  }
+
+  template <typename MakeRouting>
+  void build(MakeRouting make_routing) {
+    channel_.emplace(matrix_);
+    medium_.emplace(kernel_, *channel_);
+    for (int i = 0; i < n_; ++i) {
+      radios_.push_back(
+          std::make_unique<Radio>(kernel_, *medium_, i, RadioParams{}));
+      medium_->attach(radios_.back().get());
+      if (use_tdma_) {
+        TdmaParams tp;
+        tp.slot_index = i;
+        tp.num_slots = n_;
+        macs_.push_back(
+            std::make_unique<TdmaMac>(kernel_, *radios_.back(), 16, tp));
+      } else {
+        macs_.push_back(std::make_unique<CsmaMac>(
+            kernel_, *radios_.back(), 16, CsmaParams{},
+            Rng{static_cast<std::uint64_t>(i) + 50}));
+      }
+      routings_.push_back(make_routing(*macs_.back(), i));
+      const int loc = i;
+      routings_.back()->deliver = [this, loc](int origin, std::uint32_t seq) {
+        deliveries_[loc].push_back({origin, seq});
+      };
+    }
+  }
+
+  Routing& routing(int i) { return *routings_[static_cast<std::size_t>(i)]; }
+
+  int n_ = 0;
+  des::Kernel kernel_;
+  channel::PathLossMatrix matrix_;
+  std::optional<channel::StaticChannel> channel_;
+  std::optional<Medium> medium_;
+  bool use_tdma_ = false;
+  std::vector<std::unique_ptr<Radio>> radios_;
+  std::vector<std::unique_ptr<Mac>> macs_;
+  std::vector<std::unique_ptr<Routing>> routings_;
+  std::map<int, std::vector<std::pair<int, std::uint32_t>>> deliveries_;
+};
+
+TEST_F(RoutingFixture, StarDeliversToDestinationOnly) {
+  connect_all(4);
+  build_star(0);
+  routing(1).originate(100, /*dest=*/3);
+  kernel_.run_until(1.0);
+  ASSERT_EQ(deliveries_[3].size(), 1u);
+  EXPECT_EQ(deliveries_[3][0].first, 1);
+  EXPECT_TRUE(deliveries_[0].empty());  // coordinator relays, not delivers
+  EXPECT_TRUE(deliveries_[2].empty());
+  EXPECT_TRUE(deliveries_[1].empty());
+}
+
+TEST_F(RoutingFixture, StarCoordinatorEchoesExactlyOnce) {
+  connect_all(4);
+  build_star(0);
+  routing(1).originate(100, 3);
+  kernel_.run_until(1.0);
+  EXPECT_EQ(routing(0).stats().relayed, 1u);
+  EXPECT_EQ(routing(2).stats().relayed, 0u);
+  // Destination 3 hears the original and the echo: one delivery + one
+  // duplicate (the factor 2 in the paper's Eq. (5)).
+  EXPECT_EQ(routing(3).stats().delivered, 1u);
+  EXPECT_EQ(routing(3).stats().duplicates, 1u);
+}
+
+TEST_F(RoutingFixture, StarEchoRescuesCutLink) {
+  connect_all(3);
+  cut_link(1, 2);  // direct path 1 -> 2 is dead
+  build_star(0);
+  routing(1).originate(100, 2);
+  kernel_.run_until(1.0);
+  ASSERT_EQ(deliveries_[2].size(), 1u);  // delivered via coordinator echo
+  EXPECT_EQ(routing(2).stats().duplicates, 0u);
+}
+
+TEST_F(RoutingFixture, StarPacketsToCoordinatorAreNotEchoed) {
+  connect_all(3);
+  build_star(0);
+  routing(1).originate(100, /*dest=*/0);
+  kernel_.run_until(1.0);
+  EXPECT_EQ(deliveries_[0].size(), 1u);
+  EXPECT_EQ(routing(0).stats().relayed, 0u);
+}
+
+TEST_F(RoutingFixture, StarCoordinatorOriginatesDirectly) {
+  connect_all(3);
+  build_star(0);
+  routing(0).originate(100, 2);
+  kernel_.run_until(1.0);
+  ASSERT_EQ(deliveries_[2].size(), 1u);
+  EXPECT_EQ(routing(0).stats().relayed, 0u);
+  EXPECT_TRUE(deliveries_[1].empty());  // bystander hears but not delivers
+}
+
+TEST_F(RoutingFixture, StarBrokenBothPathsLosesPacket) {
+  connect_all(3);
+  cut_link(1, 2);
+  cut_link(0, 2);  // echo leg dead too
+  build_star(0);
+  routing(1).originate(100, 2);
+  kernel_.run_until(1.0);
+  EXPECT_TRUE(deliveries_[2].empty());
+}
+
+TEST_F(RoutingFixture, MeshDeliversToDestination) {
+  connect_all(4);
+  build_mesh(2);
+  routing(3).originate(100, 1);
+  kernel_.run_until(1.0);
+  ASSERT_EQ(deliveries_[1].size(), 1u);
+  EXPECT_TRUE(deliveries_[0].empty());
+  EXPECT_TRUE(deliveries_[2].empty());
+}
+
+TEST_F(RoutingFixture, MeshDestinationNeverRelays) {
+  connect_all(4);
+  build_mesh_tdma(2);
+  routing(0).originate(100, 3);
+  kernel_.run_until(1.0);
+  EXPECT_EQ(routing(3).stats().relayed, 0u);
+  EXPECT_GE(routing(1).stats().relayed, 1u);
+  EXPECT_GE(routing(2).stats().relayed, 1u);
+}
+
+/// With a lossless serialized MAC, the flood of one packet over N nodes
+/// must produce exactly NreTx = 1 + (N-2) + (N-2)(N-3) = N^2 - 4N + 5
+/// transmissions (the paper's bound, Sec. 4.1).
+class MeshRetxCount : public ::testing::TestWithParam<int> {};
+
+TEST_P(MeshRetxCount, MatchesPaperFormulaExactly) {
+  const int n = GetParam();
+  des::Kernel kernel;
+  channel::PathLossMatrix matrix;
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      matrix.set_db(i, j, 60.0);
+    }
+  }
+  channel::StaticChannel channel(matrix);
+  Medium medium(kernel, channel);
+  std::vector<std::unique_ptr<Radio>> radios;
+  std::vector<std::unique_ptr<TdmaMac>> macs;
+  std::vector<std::unique_ptr<MeshRouting>> routings;
+  int delivered = 0;
+  for (int i = 0; i < n; ++i) {
+    radios.push_back(
+        std::make_unique<Radio>(kernel, medium, i, RadioParams{}));
+    medium.attach(radios.back().get());
+    TdmaParams tp;
+    tp.slot_index = i;
+    tp.num_slots = n;
+    macs.push_back(std::make_unique<TdmaMac>(kernel, *radios.back(), 32, tp));
+    routings.push_back(std::make_unique<MeshRouting>(*macs.back(), i, 2));
+    routings.back()->deliver = [&delivered](int, std::uint32_t) {
+      ++delivered;
+    };
+  }
+  routings[0]->originate(100, n - 1);
+  kernel.run_until(2.0);
+  std::uint64_t total_tx = 0;
+  for (const auto& r : radios) {
+    total_tx += r->stats().tx_packets;
+  }
+  EXPECT_EQ(total_tx, static_cast<std::uint64_t>(n * n - 4 * n + 5));
+  EXPECT_EQ(delivered, 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(NodeCounts, MeshRetxCount,
+                         ::testing::Values(3, 4, 5, 6));
+
+TEST_F(RoutingFixture, MeshTwoHopsReachIndirectDestination) {
+  connect_all(3);
+  cut_link(0, 2);  // 0 can only reach 2 via 1
+  build_mesh(2);
+  routing(0).originate(100, 2);
+  kernel_.run_until(1.0);
+  ASSERT_EQ(deliveries_[2].size(), 1u);
+  EXPECT_EQ(routing(1).stats().relayed, 1u);
+}
+
+TEST_F(RoutingFixture, MeshHopLimitBoundsRelayDepth) {
+  // Chain 0 - 1 - 2 - 3 - 4 (only consecutive links alive).  Nhops = 2
+  // allows two relays: node 3 (relays at 1, 2) is reachable, node 4
+  // (three relays needed) is not — "blocks further retransmissions after
+  // Nhops is reached" (paper Sec. 2.1.2).
+  connect_all(5);
+  for (int i = 0; i < 5; ++i) {
+    for (int j = i + 2; j < 5; ++j) {
+      cut_link(i, j);
+    }
+  }
+  build_mesh(2);
+  routing(0).originate(100, 3);
+  routing(0).originate(100, 4);
+  kernel_.run_until(1.0);
+  EXPECT_EQ(deliveries_[3].size(), 1u);
+  EXPECT_TRUE(deliveries_[4].empty());
+}
+
+TEST_F(RoutingFixture, MeshThreeHopsReachChainEnd) {
+  connect_all(5);
+  for (int i = 0; i < 5; ++i) {
+    for (int j = i + 2; j < 5; ++j) {
+      cut_link(i, j);
+    }
+  }
+  build_mesh(3);
+  routing(0).originate(100, 4);
+  kernel_.run_until(1.0);
+  EXPECT_EQ(deliveries_[4].size(), 1u);
+}
+
+TEST_F(RoutingFixture, MeshVisitedHistoryPreventsPingPong) {
+  // Two nodes + destination out of range: the relay must not bounce the
+  // packet back and forth (history contains both after one relay).
+  connect_all(3);
+  cut_link(0, 2);
+  cut_link(1, 2);  // destination unreachable
+  build_mesh(5);   // generous hop budget: only history stops the flood
+  routing(0).originate(100, 2);
+  kernel_.run_until(1.0);
+  EXPECT_TRUE(deliveries_[2].empty());
+  // 0 -> 1 relay once; 1's copy has {0,1} in history so 0 won't re-relay.
+  EXPECT_EQ(routing(1).stats().relayed, 1u);
+  EXPECT_EQ(routing(0).stats().relayed, 0u);
+}
+
+TEST_F(RoutingFixture, MeshDestinationDeduplicatesFloodCopies) {
+  connect_all(5);
+  build_mesh_tdma(2);
+  routing(0).originate(100, 4);
+  kernel_.run_until(1.0);
+  EXPECT_EQ(deliveries_[4].size(), 1u);
+  EXPECT_GE(routing(4).stats().duplicates, 1u);
+}
+
+TEST_F(RoutingFixture, SequenceNumbersIncreasePerOrigin) {
+  connect_all(2);
+  build_mesh_tdma(2);
+  routing(0).originate(100, 1);
+  routing(0).originate(100, 1);
+  routing(0).originate(100, 1);
+  kernel_.run_until(1.0);
+  ASSERT_EQ(deliveries_[1].size(), 3u);
+  EXPECT_EQ(deliveries_[1][0].second, 0u);
+  EXPECT_EQ(deliveries_[1][1].second, 1u);
+  EXPECT_EQ(deliveries_[1][2].second, 2u);
+  EXPECT_EQ(routing(0).stats().originated, 3u);
+}
+
+TEST_F(RoutingFixture, OriginateRejectsSelfDestination) {
+  connect_all(2);
+  build_mesh(2);
+  EXPECT_THROW(routing(0).originate(100, 0), ModelError);
+}
+
+TEST_F(RoutingFixture, MeshRejectsZeroHops) {
+  connect_all(2);
+  channel_.emplace(matrix_);
+  medium_.emplace(kernel_, *channel_);
+  radios_.push_back(
+      std::make_unique<Radio>(kernel_, *medium_, 0, RadioParams{}));
+  medium_->attach(radios_.back().get());
+  macs_.push_back(std::make_unique<CsmaMac>(kernel_, *radios_.back(), 16,
+                                            CsmaParams{}, Rng{1}));
+  EXPECT_THROW(MeshRouting(*macs_.back(), 0, 0), ModelError);
+}
+
+}  // namespace
+}  // namespace hi::net

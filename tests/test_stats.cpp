@@ -1,0 +1,130 @@
+// Unit tests for the statistics accumulators (common/stats.hpp).
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/assert.hpp"
+#include "common/rng.hpp"
+
+namespace hi {
+namespace {
+
+TEST(RunningStats, EmptyIsNeutral) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stderr_mean(), 0.0);
+}
+
+TEST(RunningStats, KnownSmallSample) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // unbiased
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, SingleSampleHasZeroVariance) {
+  RunningStats s;
+  s.add(42.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 42.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+  Rng r(5);
+  RunningStats whole, a, b;
+  for (int i = 0; i < 1'000; ++i) {
+    const double x = r.normal(1.0, 3.0);
+    whole.add(x);
+    (i % 2 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), whole.count());
+  EXPECT_NEAR(a.mean(), whole.mean(), 1e-10);
+  EXPECT_NEAR(a.variance(), whole.variance(), 1e-8);
+  EXPECT_DOUBLE_EQ(a.min(), whole.min());
+  EXPECT_DOUBLE_EQ(a.max(), whole.max());
+}
+
+TEST(RunningStats, MergeWithEmptySides) {
+  RunningStats a, b;
+  a.add(1.0);
+  a.add(3.0);
+  RunningStats a_copy = a;
+  a.merge(b);  // empty rhs: no change
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+  b.merge(a_copy);  // empty lhs adopts rhs
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(RunningStats, StdErrShrinksWithN) {
+  RunningStats s;
+  Rng r(6);
+  for (int i = 0; i < 100; ++i) s.add(r.uniform());
+  const double se100 = s.stderr_mean();
+  for (int i = 0; i < 9'900; ++i) s.add(r.uniform());
+  EXPECT_LT(s.stderr_mean(), se100 / 5.0);
+}
+
+TEST(Histogram, BinningAndClamping) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);    // bin 0
+  h.add(9.99);   // bin 9
+  h.add(-5.0);   // clamped to bin 0
+  h.add(25.0);   // clamped to bin 9
+  h.add(5.0);    // bin 5
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(9), 2u);
+  EXPECT_EQ(h.count(5), 1u);
+  EXPECT_DOUBLE_EQ(h.fraction(0), 0.4);
+  EXPECT_DOUBLE_EQ(h.bin_center(0), 0.5);
+  EXPECT_DOUBLE_EQ(h.bin_center(9), 9.5);
+}
+
+TEST(Histogram, RejectsBadConstruction) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), ModelError);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), ModelError);
+}
+
+TEST(Pearson, PerfectCorrelations) {
+  std::vector<double> x{1, 2, 3, 4, 5};
+  std::vector<double> y{2, 4, 6, 8, 10};
+  std::vector<double> z{5, 4, 3, 2, 1};
+  EXPECT_NEAR(pearson_correlation(x, y), 1.0, 1e-12);
+  EXPECT_NEAR(pearson_correlation(x, z), -1.0, 1e-12);
+}
+
+TEST(Pearson, IndependentSamplesNearZero) {
+  Rng r(9);
+  std::vector<double> a, b;
+  for (int i = 0; i < 20'000; ++i) {
+    a.push_back(r.normal());
+    b.push_back(r.normal());
+  }
+  EXPECT_NEAR(pearson_correlation(a, b), 0.0, 0.03);
+}
+
+TEST(Pearson, ZeroVarianceIsZero) {
+  std::vector<double> flat{1, 1, 1};
+  std::vector<double> x{1, 2, 3};
+  EXPECT_DOUBLE_EQ(pearson_correlation(flat, x), 0.0);
+}
+
+TEST(Pearson, SizeMismatchThrows) {
+  std::vector<double> a{1, 2};
+  std::vector<double> b{1, 2, 3};
+  EXPECT_THROW((void)pearson_correlation(a, b), ModelError);
+}
+
+}  // namespace
+}  // namespace hi

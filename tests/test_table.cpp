@@ -1,0 +1,70 @@
+// Unit tests for the console table / formatting helpers (common/table.hpp).
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace hi {
+namespace {
+
+TEST(FmtDouble, RoundsToDigits) {
+  EXPECT_EQ(fmt_double(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_double(3.14159, 0), "3");
+  EXPECT_EQ(fmt_double(-1.005, 1), "-1.0");
+  EXPECT_EQ(fmt_double(2.0, 3), "2.000");
+}
+
+TEST(FmtPercent, ScalesRatio) {
+  EXPECT_EQ(fmt_percent(0.873), "87.3%");
+  EXPECT_EQ(fmt_percent(1.0, 0), "100%");
+  EXPECT_EQ(fmt_percent(0.0), "0.0%");
+}
+
+TEST(TextTable, AlignsColumns) {
+  TextTable t;
+  t.set_header({"name", "value"});
+  t.add_row({"a", "1"});
+  t.add_row({"long-name", "22"});
+  std::ostringstream oss;
+  t.print(oss);
+  const std::string out = oss.str();
+  // Header present, rule under header, rows aligned at the same column.
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("----"), std::string::npos);
+  const auto pos_header_value = out.find("value");
+  const auto line2 = out.find("long-name");
+  ASSERT_NE(line2, std::string::npos);
+  EXPECT_NE(pos_header_value, std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(TextTable, HandlesShortRows) {
+  TextTable t;
+  t.set_header({"a", "b", "c"});
+  t.add_row({"only-one"});
+  std::ostringstream oss;
+  t.print(oss);  // must not throw or read out of bounds
+  EXPECT_NE(oss.str().find("only-one"), std::string::npos);
+}
+
+TEST(TextTable, NoHeaderPrintsRowsOnly) {
+  TextTable t;
+  t.add_row({"x", "y"});
+  std::ostringstream oss;
+  t.print(oss);
+  EXPECT_EQ(oss.str().find('-'), std::string::npos);
+}
+
+TEST(TextTable, CsvEscapesCommas) {
+  TextTable t;
+  t.set_header({"config", "pdr"});
+  t.add_row({"[0,1,3,6], Star", "0.93"});
+  std::ostringstream oss;
+  t.print_csv(oss);
+  EXPECT_NE(oss.str().find("\"[0,1,3,6], Star\""), std::string::npos);
+  EXPECT_NE(oss.str().find("config,pdr"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hi

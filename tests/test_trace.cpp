@@ -1,0 +1,140 @@
+// Unit tests for the trace-driven channel (channel/trace.hpp): sampling,
+// interpolation, wrap-around, CSV round-trip, and replaying a recorded
+// Gauss-Markov realization.
+#include "channel/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/assert.hpp"
+
+namespace hi::channel {
+namespace {
+
+TEST(ChannelTrace, SetAndSampleSymmetric) {
+  ChannelTrace t(0.5, 4);
+  t.set(0, 3, 2, 77.0);
+  EXPECT_DOUBLE_EQ(t.sample(0, 3, 2), 77.0);
+  EXPECT_DOUBLE_EQ(t.sample(3, 0, 2), 77.0);
+  EXPECT_DOUBLE_EQ(t.dt_s(), 0.5);
+  EXPECT_EQ(t.samples(), 4u);
+  EXPECT_DOUBLE_EQ(t.duration_s(), 2.0);
+}
+
+TEST(ChannelTrace, LinearInterpolation) {
+  ChannelTrace t(1.0, 3);
+  t.set(0, 1, 0, 60.0);
+  t.set(0, 1, 1, 70.0);
+  t.set(0, 1, 2, 80.0);
+  EXPECT_DOUBLE_EQ(t.at(0, 1, 0.0), 60.0);
+  EXPECT_DOUBLE_EQ(t.at(0, 1, 0.5), 65.0);
+  EXPECT_DOUBLE_EQ(t.at(0, 1, 1.0), 70.0);
+  EXPECT_DOUBLE_EQ(t.at(0, 1, 1.75), 77.5);
+}
+
+TEST(ChannelTrace, WrapsAroundAtTheEnd) {
+  ChannelTrace t(1.0, 2);
+  t.set(0, 1, 0, 60.0);
+  t.set(0, 1, 1, 70.0);
+  // After the last sample, interpolate back toward sample 0.
+  EXPECT_DOUBLE_EQ(t.at(0, 1, 1.5), 65.0);
+  // Beyond the duration, the trace repeats.
+  EXPECT_DOUBLE_EQ(t.at(0, 1, 2.0), 60.0);
+  EXPECT_DOUBLE_EQ(t.at(0, 1, 2.5), 65.0);
+}
+
+TEST(ChannelTrace, SelfPathLossIsZero) {
+  ChannelTrace t(1.0, 2);
+  EXPECT_DOUBLE_EQ(t.at(4, 4, 0.7), 0.0);
+  EXPECT_DOUBLE_EQ(t.mean_db(4, 4), 0.0);
+}
+
+TEST(ChannelTrace, MeanIsSampleAverage) {
+  ChannelTrace t(1.0, 4);
+  for (std::size_t k = 0; k < 4; ++k) {
+    t.set(2, 5, k, 60.0 + 2.0 * static_cast<double>(k));
+  }
+  EXPECT_DOUBLE_EQ(t.mean_db(2, 5), 63.0);
+}
+
+TEST(ChannelTrace, CsvRoundTrip) {
+  ChannelTrace t(0.25, 5);
+  Rng rng(9);
+  for (int i = 0; i < kNumLocations; ++i) {
+    for (int j = i + 1; j < kNumLocations; ++j) {
+      for (std::size_t k = 0; k < 5; ++k) {
+        t.set(i, j, k, rng.uniform(40.0, 100.0));
+      }
+    }
+  }
+  std::stringstream ss;
+  t.save_csv(ss);
+  const ChannelTrace back = ChannelTrace::load_csv(ss);
+  EXPECT_EQ(back.samples(), t.samples());
+  EXPECT_NEAR(back.dt_s(), t.dt_s(), 1e-12);
+  for (int i = 0; i < kNumLocations; ++i) {
+    for (int j = i + 1; j < kNumLocations; ++j) {
+      for (std::size_t k = 0; k < 5; ++k) {
+        EXPECT_NEAR(back.sample(i, j, k), t.sample(i, j, k), 1e-9);
+      }
+    }
+  }
+}
+
+TEST(ChannelTrace, LoadRejectsMalformedCsv) {
+  {
+    std::stringstream empty;
+    EXPECT_THROW((void)ChannelTrace::load_csv(empty), ModelError);
+  }
+  {
+    std::stringstream bad("header\n1,2,3\n");
+    EXPECT_THROW((void)ChannelTrace::load_csv(bad), ModelError);
+  }
+  {
+    std::stringstream nan_row("h\n0");
+    EXPECT_THROW((void)ChannelTrace::load_csv(nan_row), ModelError);
+  }
+}
+
+TEST(ChannelTrace, RejectsBadConstruction) {
+  EXPECT_THROW(ChannelTrace(0.0, 4), ModelError);
+  EXPECT_THROW(ChannelTrace(1.0, 0), ModelError);
+}
+
+TEST(RecordTrace, CapturesBodyChannelRealization) {
+  auto body = make_default_body_channel(17);
+  const ChannelTrace trace = record_trace(*body, 10.0, 0.1);
+  EXPECT_EQ(trace.samples(), 100u);
+  // Replaying at the sample instants reproduces the recording exactly.
+  // The comparison channel must be driven through the *same* sampling
+  // sequence: a Gauss-Markov path depends on the query instants.
+  TraceChannel replay(trace);
+  auto body2 = make_default_body_channel(17);
+  for (std::size_t k = 0; k < 100; ++k) {
+    const double t = static_cast<double>(k) * 0.1;
+    const double expected = body2->path_loss_db(0, 3, t);
+    if (k % 7 == 0) {
+      EXPECT_DOUBLE_EQ(replay.path_loss_db(0, 3, t), expected);
+    }
+  }
+}
+
+TEST(TraceChannel, MeanTracksCalibratedMatrix) {
+  auto body = make_default_body_channel(23);
+  TraceChannel replay(record_trace(*body, 200.0, 0.2));
+  // Long enough trace: the time-average approaches the matrix mean.
+  EXPECT_NEAR(replay.mean_path_loss_db(0, 1),
+              calibrated_body_path_loss().db(0, 1), 2.0);
+}
+
+TEST(TraceChannel, IsDeterministicAcrossQueries) {
+  auto body = make_default_body_channel(29);
+  TraceChannel replay(record_trace(*body, 5.0, 0.5));
+  const double a = replay.path_loss_db(1, 6, 1.23);
+  const double b = replay.path_loss_db(1, 6, 1.23);
+  EXPECT_DOUBLE_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace hi::channel

@@ -1,0 +1,65 @@
+// Unit tests for the physical-unit helpers (common/units.hpp).
+#include "common/units.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hi {
+namespace {
+
+TEST(Units, DbmToMwKnownPoints) {
+  EXPECT_DOUBLE_EQ(dbm_to_mw(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(dbm_to_mw(10.0), 10.0);
+  EXPECT_DOUBLE_EQ(dbm_to_mw(-10.0), 0.1);
+  EXPECT_NEAR(dbm_to_mw(-20.0), 0.01, 1e-12);
+  EXPECT_NEAR(dbm_to_mw(3.0), 1.9952623, 1e-6);
+}
+
+TEST(Units, MwToDbmKnownPoints) {
+  EXPECT_DOUBLE_EQ(mw_to_dbm(1.0), 0.0);
+  EXPECT_DOUBLE_EQ(mw_to_dbm(100.0), 20.0);
+  EXPECT_NEAR(mw_to_dbm(0.5), -3.0103, 1e-4);
+}
+
+TEST(Units, DbmMwRoundTrip) {
+  for (double dbm = -100.0; dbm <= 30.0; dbm += 7.3) {
+    EXPECT_NEAR(mw_to_dbm(dbm_to_mw(dbm)), dbm, 1e-9);
+  }
+}
+
+TEST(Units, SecondsDaysRoundTrip) {
+  EXPECT_DOUBLE_EQ(seconds_to_days(86'400.0), 1.0);
+  EXPECT_DOUBLE_EQ(days_to_seconds(2.5), 216'000.0);
+  EXPECT_DOUBLE_EQ(seconds_to_days(days_to_seconds(17.25)), 17.25);
+}
+
+TEST(Units, BatteryEnergyCr2032) {
+  // The paper's CR2032 coin cell: 225 mAh at 3 V nominal = 2430 J.
+  EXPECT_DOUBLE_EQ(battery_energy_j(225.0, 3.0), 2430.0);
+}
+
+TEST(Units, PacketDurationMatchesPaper) {
+  // Tpkt = 8 * 100 / 1024000 = 781.25 us (paper Sec. 2.1.1 with Table 1).
+  EXPECT_DOUBLE_EQ(packet_duration_s(100.0, 1.024e6), 781.25e-6);
+}
+
+TEST(Units, PacketDurationScalesLinearly) {
+  const double one = packet_duration_s(1.0, 250e3);
+  EXPECT_DOUBLE_EQ(packet_duration_s(50.0, 250e3), 50.0 * one);
+}
+
+TEST(Units, MilliwattConversions) {
+  EXPECT_DOUBLE_EQ(mw_to_w(1000.0), 1.0);
+  EXPECT_DOUBLE_EQ(uw_to_mw(100.0), 0.1);
+}
+
+TEST(Units, ApproxEqual) {
+  EXPECT_TRUE(approx_equal(1.0, 1.0));
+  EXPECT_TRUE(approx_equal(1.0, 1.0 + 1e-12));
+  EXPECT_FALSE(approx_equal(1.0, 1.001));
+  EXPECT_TRUE(approx_equal(1e9, 1e9 + 1.0, 1e-8));
+  EXPECT_TRUE(approx_equal(0.0, 0.0));
+  EXPECT_FALSE(approx_equal(0.0, 1e-6));
+}
+
+}  // namespace
+}  // namespace hi
