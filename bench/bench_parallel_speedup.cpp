@@ -1,0 +1,114 @@
+// Measures the wall-clock speedup of hi::exec parallel batch evaluation
+// for both explorers (exhaustive search and Algorithm 1) on the paper
+// scenario, across thread counts, and emits a JSON report on stdout.
+//
+// Determinism is asserted on the fly: every thread count must return the
+// same incumbent power and the same simulation count as the serial run
+// (seed-from-design-key + common random numbers; see DESIGN.md
+// "Execution model").  Each run gets a fresh Evaluator so no run is
+// flattered by another's warm cache.
+//
+// Extra knobs: HI_THREADS_MAX (default 8) caps the sweep 0,1,2,4,...;
+// the usual HI_TSIM / HI_RUNS / HI_SEED apply.
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/assert.hpp"
+#include "dse/algorithm1.hpp"
+#include "dse/exhaustive.hpp"
+
+namespace {
+
+struct Point {
+  int threads = 0;
+  double wall_s = 0.0;
+  std::uint64_t simulations = 0;
+  double best_power_mw = 0.0;
+};
+
+void print_points(const std::vector<Point>& points, const char* name,
+                  bool last) {
+  std::cout << "  \"" << name << "\": [\n";
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const Point& p = points[i];
+    const double serial = points.front().wall_s;
+    std::cout << "    {\"threads\": " << p.threads << ", \"wall_s\": "
+              << p.wall_s << ", \"simulations\": " << p.simulations
+              << ", \"best_power_mw\": " << p.best_power_mw
+              << ", \"speedup_vs_serial\": "
+              << (p.wall_s > 0.0 ? serial / p.wall_s : 0.0) << "}"
+              << (i + 1 < points.size() ? "," : "") << "\n";
+  }
+  std::cout << "  ]" << (last ? "" : ",") << "\n";
+}
+
+}  // namespace
+
+int main() {
+  using namespace hi;
+  const dse::EvaluatorSettings base = bench::experiment_settings();
+  const long max_threads = bench::env_long("HI_THREADS_MAX", 8);
+  std::vector<int> sweep{0, 1};
+  for (int t = 2; t <= max_threads; t *= 2) {
+    sweep.push_back(t);
+  }
+
+  std::cerr << "bench_parallel_speedup: Tsim=" << base.sim.duration_s
+            << " s, runs=" << base.runs << ", seed=" << base.sim.seed
+            << ", hardware threads=" << std::thread::hardware_concurrency()
+            << " (JSON on stdout)\n";
+
+  model::Scenario scenario;
+  const double pdr_min = 0.9;
+
+  std::vector<Point> exhaustive, algorithm1;
+  for (const int threads : sweep) {
+    dse::EvaluatorSettings s = base;
+    s.threads = threads;
+    {
+      dse::Evaluator eval(s);
+      const dse::ExplorationResult r =
+          dse::run_exhaustive(scenario, eval, pdr_min);
+      exhaustive.push_back(
+          Point{threads, r.wall_time_s, r.simulations, r.best_power_mw});
+    }
+    {
+      dse::Evaluator eval(s);
+      dse::Algorithm1Options opt;
+      opt.pdr_min = pdr_min;
+      const dse::ExplorationResult r =
+          dse::run_algorithm1(scenario, eval, opt);
+      algorithm1.push_back(
+          Point{threads, r.wall_time_s, r.simulations, r.best_power_mw});
+    }
+    std::cerr << "  threads=" << threads << ": exhaustive "
+              << exhaustive.back().wall_s << " s, algorithm1 "
+              << algorithm1.back().wall_s << " s\n";
+  }
+
+  // Determinism across thread counts is the subsystem's contract.
+  for (const std::vector<Point>* pts : {&exhaustive, &algorithm1}) {
+    for (const Point& p : *pts) {
+      HI_ASSERT_MSG(p.best_power_mw == pts->front().best_power_mw &&
+                        p.simulations == pts->front().simulations,
+                    "thread count " << p.threads
+                                    << " changed the result — determinism "
+                                       "contract violated");
+    }
+  }
+
+  std::cout << "{\n"
+            << "  \"tsim_s\": " << base.sim.duration_s << ",\n"
+            << "  \"runs\": " << base.runs << ",\n"
+            << "  \"seed\": " << base.sim.seed << ",\n"
+            << "  \"pdr_min\": " << pdr_min << ",\n"
+            << "  \"hardware_threads\": "
+            << std::thread::hardware_concurrency() << ",\n";
+  print_points(exhaustive, "exhaustive", /*last=*/false);
+  print_points(algorithm1, "algorithm1", /*last=*/true);
+  std::cout << "}\n";
+  return 0;
+}

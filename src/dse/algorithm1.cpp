@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "common/assert.hpp"
+#include "exec/batch_evaluator.hpp"
 #include "model/power.hpp"
 
 namespace hi::dse {
@@ -20,6 +21,12 @@ ExplorationResult run_algorithm1(const model::Scenario& scenario,
   MilpEncoding encoding(scenario);
   ExplorationResult res;
   bool have_best = false;
+
+  // RunSim engine: each MILP level hands back its whole alternative-
+  // optima set at once, which batch-evaluates concurrently (bit-identical
+  // to serial; see exec::BatchEvaluator).  One pool serves every round.
+  exec::BatchEvaluator batch(
+      eval, opt.threads >= 0 ? opt.threads : eval.settings().threads);
 
   // Termination bounds (Sec. 3).  The paper stops when P̄*/α(S*) exceeds
   // the incumbent's simulated power, with α = P̄/P̄lb the loss discount.
@@ -109,15 +116,18 @@ ExplorationResult run_algorithm1(const model::Scenario& scenario,
       }
     }
 
-    // ---- line 7: RunSim ----------------------------------------------------
+    // ---- line 7: RunSim (the whole level concurrently) ---------------------
     // ---- line 8: Sort (track the feasible minimum directly) ---------------
+    const std::vector<const Evaluation*> evals =
+        batch.evaluate(round.candidates);
     bool round_feasible = false;
     model::NetworkConfig round_best;
     double round_best_power = 0.0;
     double round_best_pdr = 0.0;
     double round_best_nlt = 0.0;
-    for (const model::NetworkConfig& cfg : round.candidates) {
-      const Evaluation& ev = eval.evaluate(cfg);
+    for (std::size_t i = 0; i < round.candidates.size(); ++i) {
+      const model::NetworkConfig& cfg = round.candidates[i];
+      const Evaluation& ev = *evals[i];
       res.history.push_back(CandidateRecord{cfg, model::node_power_mw(cfg),
                                             ev.pdr, ev.power_mw, ev.nlt_s});
       if (ev.pdr >= opt.pdr_min &&

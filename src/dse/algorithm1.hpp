@@ -48,6 +48,12 @@ struct Algorithm1Options {
   /// model::power_lower_bound_mw.
   double alpha_kappa = model::kLossDiscountKappa;
   milp::Options milp{};
+  /// Worker threads for batch-evaluating each MILP level's
+  /// alternative-optima set (hi::exec::BatchEvaluator).  -1 inherits
+  /// EvaluatorSettings::threads, 0 forces serial.  Results, the
+  /// incumbent, and the simulation counters are bit-identical at any
+  /// value.
+  int threads = -1;
 };
 
 /// Runs Algorithm 1 on `scenario`, evaluating candidates through `eval`.

@@ -8,33 +8,8 @@ Evaluator::Evaluator(EvaluatorSettings settings)
     : settings_(std::move(settings)) {
   HI_REQUIRE(settings_.runs >= 1, "need at least one replication");
   HI_REQUIRE(settings_.channel != nullptr, "channel factory required");
-}
-
-const Evaluation& Evaluator::evaluate(const model::NetworkConfig& cfg) {
-  const std::uint64_t key = cfg.design_key();
-  if (counted_this_epoch_.insert(key).second) {
-    ++simulations_;
-  }
-  if (const auto it = cache_.find(key); it != cache_.end()) {
-    ++cache_hits_;
-    return it->second;
-  }
-  // Derive the design point's node-randomness seed from the experiment
-  // root so results do not depend on evaluation order, but keep one
-  // shared channel-realization root: every configuration is judged
-  // against the same fades (common random numbers).
-  net::SimParams sp = settings_.sim;
-  sp.seed = Rng{settings_.sim.seed}.fork(key).next_u64();
-  sp.channel_seed = settings_.sim.channel_seed != 0
-                        ? settings_.sim.channel_seed
-                        : settings_.sim.seed;
-  Evaluation ev;
-  ev.detail = net::simulate_averaged(cfg, sp, settings_.runs,
-                                     settings_.channel);
-  ev.pdr = ev.detail.pdr;
-  ev.power_mw = ev.detail.worst_power_mw;
-  ev.nlt_s = ev.detail.nlt_s;
-  return cache_.emplace(key, std::move(ev)).first->second;
+  HI_REQUIRE(settings_.threads >= 0, "threads must be >= 0 (0 = serial), got "
+                                         << settings_.threads);
 }
 
 void Evaluator::reset_counters() {

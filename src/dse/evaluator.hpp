@@ -6,12 +6,25 @@
 // place that number is counted, so Algorithm 1, exhaustive search, and
 // simulated annealing are measured identically.  A cached re-evaluation
 // (e.g. simulated annealing revisiting a state) is not a new simulation.
+//
+// Concurrency: the Evaluator itself is NOT thread-safe — all cache and
+// counter updates go through the single-threaded admit() path.  Parallel
+// evaluation is layered on top by hi::exec::BatchEvaluator, which fans
+// the pure simulate_uncached() out across workers and then replays
+// admit() serially in request order, making parallel results (metrics,
+// incumbents, and both counters) bit-identical to a serial run.  That
+// works because a design point's randomness is seeded from its
+// design_key() and all design points share one channel-realization root
+// (common random numbers): what a simulation returns never depends on
+// which thread ran it or when.
 #pragma once
 
 #include <cstdint>
 #include <unordered_map>
 #include <unordered_set>
 
+#include "common/assert.hpp"
+#include "common/rng.hpp"
 #include "model/config.hpp"
 #include "net/network.hpp"
 
@@ -30,6 +43,11 @@ struct EvaluatorSettings {
   net::SimParams sim{};  ///< Tsim etc.; seed is the experiment's root seed
   int runs = 3;          ///< replications averaged per design point
   net::ChannelFactory channel = net::default_channel_factory();
+  /// Worker threads the explorers may use to batch-evaluate candidates
+  /// through hi::exec::BatchEvaluator.  0 = serial (the default,
+  /// preserving every existing call site).  Any value yields
+  /// bit-identical results and counters; see the file comment.
+  int threads = 0;
 };
 
 /// See file comment.
@@ -38,7 +56,77 @@ class Evaluator {
   explicit Evaluator(EvaluatorSettings settings);
 
   /// Simulates (or returns the cached result for) one design point.
-  const Evaluation& evaluate(const model::NetworkConfig& cfg);
+  ///
+  /// Reference stability: the returned reference stays valid for the
+  /// whole lifetime of the Evaluator, across any number of subsequent
+  /// evaluate() calls.  Callers depend on this — simulated annealing
+  /// holds the current state's Evaluation while evaluating neighbours,
+  /// and BatchEvaluator returns pointers into the cache — and it is only
+  /// safe because std::unordered_map is node-based: rehashing reseats
+  /// buckets but never moves or invalidates elements
+  /// ([unord.req.general]).  Do not swap the cache for an
+  /// open-addressing map without removing that guarantee everywhere.
+  const Evaluation& evaluate(const model::NetworkConfig& cfg) {
+    return admit(cfg, nullptr);
+  }
+
+  /// Runs the simulation for `cfg` without touching the cache or the
+  /// counters.  Pure: the result depends only on the settings and on
+  /// cfg.design_key(), so concurrent calls from worker threads are safe
+  /// as long as settings().channel tolerates concurrent invocation (the
+  /// default factory is stateless; see net::ChannelFactory).
+  [[nodiscard]] Evaluation simulate_uncached(
+      const model::NetworkConfig& cfg) const {
+    // Derive the design point's node-randomness seed from the experiment
+    // root so results do not depend on evaluation order, but keep one
+    // shared channel-realization root: every configuration is judged
+    // against the same fades (common random numbers).
+    net::SimParams sp = settings_.sim;
+    sp.seed = Rng{settings_.sim.seed}.fork(cfg.design_key()).next_u64();
+    sp.channel_seed = settings_.sim.channel_seed != 0
+                          ? settings_.sim.channel_seed
+                          : settings_.sim.seed;
+    Evaluation ev;
+    ev.detail = net::simulate_averaged(cfg, sp, settings_.runs,
+                                       settings_.channel);
+    ev.pdr = ev.detail.pdr;
+    ev.power_mw = ev.detail.worst_power_mw;
+    ev.nlt_s = ev.detail.nlt_s;
+    return ev;
+  }
+
+  /// True when the design point's result is already cached.
+  [[nodiscard]] bool cached(const model::NetworkConfig& cfg) const {
+    return cache_.contains(cfg.design_key());
+  }
+
+  /// The serial bookkeeping step shared by evaluate() and the batch
+  /// engine: counts the request, serves a cache hit (after verifying the
+  /// stored canonical config, so a 64-bit design_key() collision fails
+  /// loudly instead of silently aliasing two design points), and on a
+  /// miss inserts `*precomputed` if non-null — else simulates in place.
+  /// BatchEvaluator calls this in the caller's request order after its
+  /// parallel compute phase; that replay is what makes the parallel
+  /// counters bit-identical to serial.
+  const Evaluation& admit(const model::NetworkConfig& cfg,
+                          const Evaluation* precomputed) {
+    const std::uint64_t key = cfg.design_key();
+    if (counted_this_epoch_.insert(key).second) {
+      ++simulations_;
+    }
+    if (const auto it = cache_.find(key); it != cache_.end()) {
+      HI_REQUIRE(it->second.cfg == cfg,
+                 "design_key collision: key " << key << " maps both "
+                     << it->second.cfg.label() << " and " << cfg.label()
+                     << "; the cached result would be wrong for one of "
+                        "them — widen design_key()");
+      ++cache_hits_;
+      return it->second.ev;
+    }
+    CacheEntry entry{cfg, precomputed != nullptr ? *precomputed
+                                                 : simulate_uncached(cfg)};
+    return cache_.emplace(key, std::move(entry)).first->second.ev;
+  }
 
   /// Number of *distinct* design points requested since construction or
   /// the last reset_counters().  A design point served from the cache
@@ -57,8 +145,15 @@ class Evaluator {
   [[nodiscard]] const EvaluatorSettings& settings() const { return settings_; }
 
  private:
+  /// The canonical config rides along with each result so admit() can
+  /// prove a hit really is the same design point (collision guard).
+  struct CacheEntry {
+    model::NetworkConfig cfg;
+    Evaluation ev;
+  };
+
   EvaluatorSettings settings_;
-  std::unordered_map<std::uint64_t, Evaluation> cache_;
+  std::unordered_map<std::uint64_t, CacheEntry> cache_;
   std::unordered_set<std::uint64_t> counted_this_epoch_;
   std::uint64_t simulations_ = 0;
   std::uint64_t cache_hits_ = 0;

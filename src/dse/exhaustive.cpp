@@ -1,8 +1,10 @@
 #include "dse/exhaustive.hpp"
 
+#include <algorithm>
 #include <chrono>
 
 #include "common/assert.hpp"
+#include "exec/batch_evaluator.hpp"
 #include "model/power.hpp"
 
 namespace hi::dse {
@@ -14,19 +16,39 @@ ExplorationResult run_exhaustive(const model::Scenario& scenario,
   const auto t0 = std::chrono::steady_clock::now();
   const std::uint64_t sims0 = eval.simulations();
 
+  const std::vector<model::NetworkConfig> space = scenario.feasible_configs();
+  const int threads = eval.settings().threads;
+  exec::BatchEvaluator batch(eval, threads);
+  // Sweep the design space in chunks: wide enough to keep every worker
+  // busy, small enough to bound the in-flight result memory.  Chunking
+  // cannot change any outcome — results are committed in request order
+  // either way (see exec::BatchEvaluator).
+  const std::size_t chunk =
+      threads > 0 ? std::max<std::size_t>(8 * static_cast<std::size_t>(threads),
+                                          32)
+                  : space.size();
+
   ExplorationResult res;
-  for (const model::NetworkConfig& cfg : scenario.feasible_configs()) {
-    const Evaluation& ev = eval.evaluate(cfg);
-    res.history.push_back(CandidateRecord{cfg, model::node_power_mw(cfg),
-                                          ev.pdr, ev.power_mw, ev.nlt_s});
-    ++res.iterations;
-    if (ev.pdr >= pdr_min &&
-        (!res.feasible || ev.power_mw < res.best_power_mw)) {
-      res.feasible = true;
-      res.best = cfg;
-      res.best_power_mw = ev.power_mw;
-      res.best_pdr = ev.pdr;
-      res.best_nlt_s = ev.nlt_s;
+  for (std::size_t begin = 0; begin < space.size(); begin += chunk) {
+    const std::size_t end = std::min(space.size(), begin + chunk);
+    const std::vector<model::NetworkConfig> slice(
+        space.begin() + static_cast<std::ptrdiff_t>(begin),
+        space.begin() + static_cast<std::ptrdiff_t>(end));
+    const std::vector<const Evaluation*> evals = batch.evaluate(slice);
+    for (std::size_t i = 0; i < slice.size(); ++i) {
+      const model::NetworkConfig& cfg = slice[i];
+      const Evaluation& ev = *evals[i];
+      res.history.push_back(CandidateRecord{cfg, model::node_power_mw(cfg),
+                                            ev.pdr, ev.power_mw, ev.nlt_s});
+      ++res.iterations;
+      if (ev.pdr >= pdr_min &&
+          (!res.feasible || ev.power_mw < res.best_power_mw)) {
+        res.feasible = true;
+        res.best = cfg;
+        res.best_power_mw = ev.power_mw;
+        res.best_pdr = ev.pdr;
+        res.best_nlt_s = ev.nlt_s;
+      }
     }
   }
   res.simulations = eval.simulations() - sims0;

@@ -14,6 +14,10 @@
 namespace hi::dse {
 
 /// Runs exhaustive search on `scenario` at the given reliability bound.
+/// When the evaluator's EvaluatorSettings::threads is nonzero, the sweep
+/// batch-evaluates the design space in parallel chunks through
+/// hi::exec::BatchEvaluator — bit-identical to the serial sweep,
+/// including the simulation counters.
 [[nodiscard]] ExplorationResult run_exhaustive(const model::Scenario& scenario,
                                                Evaluator& eval,
                                                double pdr_min);

@@ -35,6 +35,8 @@ struct RadioConfig {
   double tx_mw = 18.3;           ///< transmitter power consumption
   double rx_dbm = -97.0;         ///< receiver sensitivity
   double rx_mw = 17.7;           ///< receiver power consumption
+
+  friend bool operator==(const RadioConfig&, const RadioConfig&) = default;
 };
 
 /// MAC configuration χMAC = (PMAC, BMAC, AM, Tslot).
@@ -43,6 +45,8 @@ struct MacConfig {
   int buffer_packets = 16;       ///< BMAC
   CsmaAccessMode access_mode = CsmaAccessMode::kNonPersistent;
   double slot_s = 1e-3;          ///< Tslot (TDMA)
+
+  friend bool operator==(const MacConfig&, const MacConfig&) = default;
 };
 
 /// Routing configuration χrt = (Prt, ncoor, Nhops).
@@ -50,6 +54,8 @@ struct RoutingConfig {
   RoutingProtocol protocol = RoutingProtocol::kStar;
   int coordinator = 0;           ///< ncoor (star only; a location id)
   int max_hops = 2;              ///< Nhops (mesh only)
+
+  friend bool operator==(const RoutingConfig&, const RoutingConfig&) = default;
 };
 
 /// Application configuration χapp = (Pbl, Lpkt, φ).
@@ -57,6 +63,8 @@ struct AppConfig {
   double baseline_mw = 0.1;      ///< Pbl = 100 µW
   int packet_bytes = 100;        ///< Lpkt
   double throughput_pps = 10.0;  ///< φ (packets per second per node)
+
+  friend bool operator==(const AppConfig&, const AppConfig&) = default;
 };
 
 /// Topology ν = (n0, ..., n9): which locations carry a node.
@@ -113,6 +121,10 @@ struct NetworkConfig {
   /// routing scheme/coordinator/hop limit, application profile).  Two
   /// configs from different scenarios therefore never collide silently.
   [[nodiscard]] std::uint64_t design_key() const;
+
+  /// Exact design-point equality — the ground truth design_key()
+  /// approximates; the evaluator cache uses it to reject key collisions.
+  friend bool operator==(const NetworkConfig&, const NetworkConfig&) = default;
 };
 
 }  // namespace hi::model

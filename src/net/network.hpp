@@ -61,11 +61,23 @@ struct SimResult {
 };
 
 /// Runs one simulation of `cfg` over the given instantaneous channel.
+///
+/// Concurrency contract (audited for hi::exec): `cfg` and `params` are
+/// read-only, every piece of mutable state (kernel, medium, nodes, RNG
+/// streams) is local to the call, and the channel tables in hi::channel
+/// are immutable after their thread-safe magic-static initialization —
+/// so concurrent simulate() calls are safe provided each caller passes
+/// its *own* ChannelModel instance (the model carries per-link fading
+/// state and is mutated during the run).
 [[nodiscard]] SimResult simulate(const model::NetworkConfig& cfg,
                                  channel::ChannelModel& channel,
                                  const SimParams& params);
 
 /// Produces a fresh channel for a run; receives the run's seed.
+/// When an Evaluator is used through hi::exec::BatchEvaluator, the
+/// factory is invoked concurrently from worker threads: a replacement
+/// factory must tolerate that (be stateless or internally synchronized).
+/// The default factory is stateless.
 using ChannelFactory =
     std::function<std::unique_ptr<channel::ChannelModel>(std::uint64_t seed)>;
 
@@ -76,7 +88,10 @@ using ChannelFactory =
 /// derived from params.seed) and averages PDR and power; the returned
 /// SimResult carries the averaged metrics and the *first* run's detailed
 /// node stats.  `pdr_spread`/`power_spread` (optional) receive the
-/// per-run sample statistics for error reporting.
+/// per-run sample statistics for error reporting.  Safe to call
+/// concurrently for different design points (see simulate) as long as
+/// `make_channel` honours the ChannelFactory concurrency note and the
+/// spread accumulators, when given, are per-caller.
 [[nodiscard]] SimResult simulate_averaged(
     const model::NetworkConfig& cfg, const SimParams& params, int runs,
     const ChannelFactory& make_channel = default_channel_factory(),

@@ -86,12 +86,35 @@ TEST(Evaluator, EvaluationCarriesConsistentMetrics) {
   EXPECT_DOUBLE_EQ(e.power_mw, e.detail.worst_power_mw);
 }
 
+TEST(Evaluator, ReturnedReferencesAreStableAcrossLaterEvaluations) {
+  // Documented contract (evaluator.hpp): annealing holds an Evaluation
+  // reference across subsequent evaluate() calls, and BatchEvaluator
+  // returns pointers into the cache.  Safe only because the cache is a
+  // node-based std::unordered_map — pin it with enough insertions to
+  // force several rehashes.
+  Evaluator ev(fast_settings());
+  const Evaluation& first = ev.evaluate(some_config(0));
+  const Evaluation* first_addr = &first;
+  const double pdr = first.pdr;
+  model::Scenario sc;
+  for (const model::Topology& t : sc.feasible_topologies()) {
+    (void)ev.evaluate(sc.make_config(t, 0, model::MacProtocol::kTdma,
+                                     model::RoutingProtocol::kMesh));
+  }
+  const Evaluation& again = ev.evaluate(some_config(0));
+  EXPECT_EQ(&again, first_addr);
+  EXPECT_EQ(again.pdr, pdr);
+}
+
 TEST(Evaluator, RejectsBadSettings) {
   EvaluatorSettings s = fast_settings();
   s.runs = 0;
   EXPECT_THROW(Evaluator{s}, ModelError);
   s = fast_settings();
   s.channel = nullptr;
+  EXPECT_THROW(Evaluator{s}, ModelError);
+  s = fast_settings();
+  s.threads = -1;
   EXPECT_THROW(Evaluator{s}, ModelError);
 }
 
