@@ -8,7 +8,7 @@
 #include "bench_util.hpp"
 #include "common/table.hpp"
 #include "common/units.hpp"
-#include "dse/algorithm1.hpp"
+#include "dse/explorer.hpp"
 
 int main() {
   using namespace hi;
@@ -23,13 +23,13 @@ int main() {
                     "iters w/o", "sims w/ alpha", "sims w/o", "saved"});
   for (double pdr_min : {0.50, 0.70, 0.90, 0.95, 0.99}) {
     eval.reset_counters();
-    dse::Algorithm1Options on;
+    dse::ExplorationOptions on;
     on.pdr_min = pdr_min;
     const dse::ExplorationResult with_alpha =
         dse::run_algorithm1(scenario, eval, on);
 
     eval.reset_counters();
-    dse::Algorithm1Options off = on;
+    dse::ExplorationOptions off = on;
     off.use_alpha_termination = false;
     const dse::ExplorationResult without =
         dse::run_algorithm1(scenario, eval, off);
@@ -62,7 +62,7 @@ int main() {
   ks.set_header({"kappa", "sims", "iterations", "optimum P (mW)"});
   for (double kappa : {1.0, 0.8, 0.6, 0.4, 0.2}) {
     eval.reset_counters();
-    dse::Algorithm1Options opt;
+    dse::ExplorationOptions opt;
     opt.pdr_min = 0.90;
     opt.alpha_kappa = kappa;
     const dse::ExplorationResult res =

@@ -11,8 +11,8 @@
 #include "common/stats.hpp"
 #include "common/table.hpp"
 #include "common/units.hpp"
-#include "dse/algorithm1.hpp"
-#include "dse/exhaustive.hpp"
+#include "dse/explorer.hpp"
+#include "obs/metrics.hpp"
 
 int main() {
   using namespace hi;
@@ -23,11 +23,18 @@ int main() {
 
   model::Scenario scenario;
   dse::Evaluator eval(settings);
+  // One registry accumulates the whole experiment; its snapshot is
+  // emitted as JSON at the end so the perf trajectory gains counter
+  // baselines (cache hits, B&B nodes, LP pivots, ...).
+  obs::MetricsRegistry registry;
 
   // The exhaustive baseline simulates the whole feasible space once; its
   // per-PDRmin optimum is a post-processing step over that history.
+  dse::ExplorationOptions sweep;
+  sweep.pdr_min = 0.0;
+  sweep.metrics = &registry;
   const dse::ExplorationResult exh_all =
-      dse::run_exhaustive(scenario, eval, /*pdr_min=*/0.0);
+      dse::run_exhaustive(scenario, eval, sweep);
   const std::uint64_t exhaustive_sims = exh_all.simulations;
 
   TextTable table;
@@ -49,9 +56,10 @@ int main() {
 
     const auto run_mode = [&](dse::TerminationBound bound) {
       eval.reset_counters();
-      dse::Algorithm1Options opt;
+      dse::ExplorationOptions opt;
       opt.pdr_min = pdr_min;
       opt.bound = bound;
+      opt.metrics = &registry;
       return dse::run_algorithm1(scenario, eval, opt);
     };
     const dse::ExplorationResult sound =
@@ -87,5 +95,8 @@ int main() {
                "the paper-literal alpha reproduces the 87% saving but can "
                "miss a cheap lossy configuration hiding on a pruned level "
                "(see DESIGN.md)\n";
+  std::cout << "\nobs: ";
+  registry.snapshot().write_json(std::cout);
+  std::cout << "\n";
   return 0;
 }

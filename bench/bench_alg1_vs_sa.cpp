@@ -11,8 +11,7 @@
 #include "common/stats.hpp"
 #include "common/table.hpp"
 #include "common/units.hpp"
-#include "dse/algorithm1.hpp"
-#include "dse/annealing.hpp"
+#include "dse/explorer.hpp"
 
 namespace {
 
@@ -61,7 +60,7 @@ int main() {
   RunningStats sim_ratio;
   for (double pdr_min : {0.50, 0.60, 0.70, 0.80, 0.90, 0.95, 0.99}) {
     eval.reset_counters();
-    dse::Algorithm1Options a1;
+    dse::ExplorationOptions a1;
     a1.pdr_min = pdr_min;
     // The paper's own configuration of Algorithm 1 (its literal alpha
     // rule) — this bench reproduces the paper's comparison; the sound
@@ -70,9 +69,9 @@ int main() {
     const dse::ExplorationResult alg = dse::run_algorithm1(scenario, eval, a1);
 
     eval.reset_counters();
-    dse::AnnealingOptions sa;
+    dse::ExplorationOptions sa;
     sa.pdr_min = pdr_min;
-    sa.steps = sa_steps;
+    sa.budget = sa_steps;
     sa.seed = settings.sim.seed ^ 0xA11EA1;
     const dse::ExplorationResult ann = dse::run_annealing(scenario, eval, sa);
 

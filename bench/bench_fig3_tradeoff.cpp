@@ -12,8 +12,7 @@
 #include "bench_util.hpp"
 #include "common/table.hpp"
 #include "common/units.hpp"
-#include "dse/algorithm1.hpp"
-#include "dse/exhaustive.hpp"
+#include "dse/explorer.hpp"
 
 int main() {
   using namespace hi;
@@ -26,8 +25,10 @@ int main() {
   dse::Evaluator eval(settings);
 
   // ---- Full scatter (exhaustive pass; also warms the cache). -------------
+  dse::ExplorationOptions sweep_opt;
+  sweep_opt.pdr_min = 0.0;
   const dse::ExplorationResult sweep =
-      dse::run_exhaustive(scenario, eval, /*pdr_min=*/0.0);
+      dse::run_exhaustive(scenario, eval, sweep_opt);
   std::cout << "feasible configurations: " << sweep.history.size()
             << " (raw design space: " << scenario.raw_design_space_size()
             << ")\n\n";
@@ -70,7 +71,7 @@ int main() {
   for (double pdr_min :
        {0.50, 0.60, 0.70, 0.80, 0.90, 0.95, 0.99, 0.999, 0.9995}) {
     eval.reset_counters();  // count each run as if it stood alone
-    dse::Algorithm1Options opt;
+    dse::ExplorationOptions opt;
     opt.pdr_min = pdr_min;
     const dse::ExplorationResult res =
         dse::run_algorithm1(scenario, eval, opt);

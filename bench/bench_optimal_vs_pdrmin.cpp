@@ -8,7 +8,7 @@
 #include "bench_util.hpp"
 #include "common/table.hpp"
 #include "common/units.hpp"
-#include "dse/algorithm1.hpp"
+#include "dse/explorer.hpp"
 
 int main() {
   using namespace hi;
@@ -28,7 +28,7 @@ int main() {
   for (double pdr_min :
        {0.40, 0.45, 0.50, 0.55, 0.60, 0.65, 0.70, 0.75, 0.80, 0.85, 0.90,
         0.925, 0.95, 0.975, 0.99, 0.995, 0.999, 0.9995}) {
-    dse::Algorithm1Options opt;
+    dse::ExplorationOptions opt;
     opt.pdr_min = pdr_min;
     const dse::ExplorationResult res =
         dse::run_algorithm1(scenario, eval, opt);

@@ -17,8 +17,8 @@
 
 #include "bench_util.hpp"
 #include "common/assert.hpp"
-#include "dse/algorithm1.hpp"
-#include "dse/exhaustive.hpp"
+#include "dse/explorer.hpp"
+#include "obs/snapshot.hpp"
 
 namespace {
 
@@ -27,6 +27,7 @@ struct Point {
   double wall_s = 0.0;
   std::uint64_t simulations = 0;
   double best_power_mw = 0.0;
+  hi::obs::Snapshot obs;  ///< the run's metric delta
 };
 
 void print_points(const std::vector<Point>& points, const char* name,
@@ -39,8 +40,9 @@ void print_points(const std::vector<Point>& points, const char* name,
               << p.wall_s << ", \"simulations\": " << p.simulations
               << ", \"best_power_mw\": " << p.best_power_mw
               << ", \"speedup_vs_serial\": "
-              << (p.wall_s > 0.0 ? serial / p.wall_s : 0.0) << "}"
-              << (i + 1 < points.size() ? "," : "") << "\n";
+              << (p.wall_s > 0.0 ? serial / p.wall_s : 0.0) << ", \"obs\": ";
+    p.obs.write_json(std::cout);
+    std::cout << "}" << (i + 1 < points.size() ? "," : "") << "\n";
   }
   std::cout << "  ]" << (last ? "" : ",") << "\n";
 }
@@ -66,30 +68,32 @@ int main() {
 
   std::vector<Point> exhaustive, algorithm1;
   for (const int threads : sweep) {
-    dse::EvaluatorSettings s = base;
-    s.threads = threads;
+    // The thread count is an exploration knob now (ExplorationOptions),
+    // not an evaluator setting: one options bag drives both explorers.
+    dse::ExplorationOptions opt;
+    opt.pdr_min = pdr_min;
+    opt.threads = threads;
     {
-      dse::Evaluator eval(s);
+      dse::Evaluator eval(base);
       const dse::ExplorationResult r =
-          dse::run_exhaustive(scenario, eval, pdr_min);
-      exhaustive.push_back(
-          Point{threads, r.wall_time_s, r.simulations, r.best_power_mw});
+          dse::run_exhaustive(scenario, eval, opt);
+      exhaustive.push_back(Point{threads, r.wall_time_s, r.simulations,
+                                 r.best_power_mw, r.metrics});
     }
     {
-      dse::Evaluator eval(s);
-      dse::Algorithm1Options opt;
-      opt.pdr_min = pdr_min;
+      dse::Evaluator eval(base);
       const dse::ExplorationResult r =
           dse::run_algorithm1(scenario, eval, opt);
-      algorithm1.push_back(
-          Point{threads, r.wall_time_s, r.simulations, r.best_power_mw});
+      algorithm1.push_back(Point{threads, r.wall_time_s, r.simulations,
+                                 r.best_power_mw, r.metrics});
     }
     std::cerr << "  threads=" << threads << ": exhaustive "
               << exhaustive.back().wall_s << " s, algorithm1 "
               << algorithm1.back().wall_s << " s\n";
   }
 
-  // Determinism across thread counts is the subsystem's contract.
+  // Determinism across thread counts is the subsystem's contract — and
+  // the metric snapshot must mirror the legacy counter bit-for-bit.
   for (const std::vector<Point>* pts : {&exhaustive, &algorithm1}) {
     for (const Point& p : *pts) {
       HI_ASSERT_MSG(p.best_power_mw == pts->front().best_power_mw &&
@@ -97,6 +101,10 @@ int main() {
                     "thread count " << p.threads
                                     << " changed the result — determinism "
                                        "contract violated");
+      HI_ASSERT_MSG(p.obs.counter("dse.simulations") == p.simulations,
+                    "snapshot dse.simulations diverged from the legacy "
+                    "field at thread count "
+                        << p.threads);
     }
   }
 

@@ -10,8 +10,7 @@
 #include "channel/channel.hpp"
 #include "common/table.hpp"
 #include "common/units.hpp"
-#include "dse/algorithm1.hpp"
-#include "dse/exhaustive.hpp"
+#include "dse/explorer.hpp"
 
 int main() {
   using namespace hi;
@@ -64,7 +63,7 @@ int main() {
   table.set_header({"PDRmin", "selected configuration", "PDR",
                     "lifetime (days)", "sims"});
   for (double pdr_min : {0.70, 0.90, 0.99}) {
-    dse::Algorithm1Options opt;
+    dse::ExplorationOptions opt;
     opt.pdr_min = pdr_min;
     const dse::ExplorationResult res =
         dse::run_algorithm1(scenario, eval, opt);

@@ -10,7 +10,7 @@
 
 #include "common/table.hpp"
 #include "common/units.hpp"
-#include "dse/algorithm1.hpp"
+#include "dse/explorer.hpp"
 #include "model/power.hpp"
 
 int main() {
@@ -23,7 +23,7 @@ int main() {
   es.runs = 3;
   dse::Evaluator eval(es);
 
-  dse::Algorithm1Options opt;
+  dse::ExplorationOptions opt;
   opt.pdr_min = 0.60;  // a few drops are fine; lifetime is king
   const dse::ExplorationResult res =
       dse::run_algorithm1(scenario, eval, opt);

@@ -11,7 +11,7 @@
 
 #include "common/table.hpp"
 #include "common/units.hpp"
-#include "dse/algorithm1.hpp"
+#include "dse/explorer.hpp"
 
 int main() {
   using namespace hi;
@@ -27,7 +27,7 @@ int main() {
   ladder.set_header({"requirement", "selected configuration", "PDR",
                      "lifetime (days)"});
   for (double pdr_min : {0.90, 0.99, 0.999}) {
-    dse::Algorithm1Options opt;
+    dse::ExplorationOptions opt;
     opt.pdr_min = pdr_min;
     const dse::ExplorationResult res =
         dse::run_algorithm1(scenario, eval, opt);

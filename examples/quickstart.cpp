@@ -5,11 +5,13 @@
 //   cmake -B build -G Ninja && cmake --build build
 //   ./build/examples/quickstart
 #include <iostream>
+#include <sstream>
 
 #include "common/table.hpp"
 #include "common/units.hpp"
-#include "dse/algorithm1.hpp"
+#include "dse/explorer.hpp"
 #include "model/power.hpp"
+#include "obs/trace.hpp"
 
 int main() {
   using namespace hi;
@@ -47,7 +49,7 @@ int main() {
   table.print(std::cout);
 
   // --- 2. Run the paper's DSE loop. ----------------------------------------
-  dse::Algorithm1Options opt;
+  dse::ExplorationOptions opt;
   opt.pdr_min = 0.90;
   const dse::ExplorationResult res =
       dse::run_algorithm1(scenario, eval, opt);
@@ -64,6 +66,33 @@ int main() {
   }
   std::cout << "  " << res.iterations << " iterations, " << res.simulations
             << " design points simulated, "
-            << fmt_double(res.wall_time_s, 1) << " s\n";
+            << fmt_double(res.wall_time_s, 1) << " s\n"
+            << "  cache hits: " << res.metrics.counter("dse.cache_hits")
+            << ", MILP B&B nodes: " << res.milp_bnb_nodes << "\n";
+
+  // --- 3. Trace one run as JSON-lines. -------------------------------------
+  // Attach a sink to SimParams::trace and every packet tx/rx/drop, MAC
+  // backoff, and per-node energy summary streams out with simulation
+  // timestamps (point the sink at a file to keep the full log).
+  std::ostringstream jsonl;
+  obs::JsonlTraceSink sink(jsonl);
+  const obs::RunTrace trace(&sink);
+  net::SimParams sp = es.sim;
+  sp.duration_s = 2.0;
+  sp.trace = &trace;
+  const auto channel = es.channel(/*seed=*/42);
+  const model::NetworkConfig cfg = scenario.make_config(
+      four, 2, model::MacProtocol::kTdma, model::RoutingProtocol::kStar);
+  (void)net::simulate(cfg, *channel, sp);
+  std::istringstream lines(jsonl.str());
+  std::string line;
+  std::size_t count = 0;
+  std::cout << "\nJSON-lines trace of one 2 s run (first 3 of ";
+  while (std::getline(lines, line)) ++count;
+  std::cout << count << " events):\n";
+  lines = std::istringstream(jsonl.str());
+  for (int i = 0; i < 3 && std::getline(lines, line); ++i) {
+    std::cout << "  " << line << "\n";
+  }
   return 0;
 }

@@ -12,6 +12,9 @@ EventId Kernel::schedule_at(Time t, Handler h) {
   const std::uint64_t seq = next_seq_++;
   queue_.push(QEntry{t, seq});
   handlers_.emplace(seq, std::move(h));
+  if (queue_.size() > heap_hwm_) {
+    heap_hwm_ = queue_.size();
+  }
   return EventId{seq};
 }
 
@@ -22,7 +25,7 @@ EventId Kernel::schedule_in(Time delay, Handler h) {
 
 void Kernel::cancel(EventId id) {
   if (id.valid()) {
-    handlers_.erase(id.seq);
+    cancelled_ += handlers_.erase(id.seq);
   }
 }
 

@@ -55,6 +55,13 @@ class Kernel {
   /// Number of events currently pending (cancelled ones excluded).
   [[nodiscard]] std::size_t events_pending() const { return handlers_.size(); }
 
+  /// Number of events cancelled before they ran.
+  [[nodiscard]] std::uint64_t events_cancelled() const { return cancelled_; }
+
+  /// Largest heap size ever reached (cancelled-but-unpopped included —
+  /// the lazy-cancellation residue is exactly what this is for).
+  [[nodiscard]] std::size_t heap_highwater() const { return heap_hwm_; }
+
  private:
   struct QEntry {
     Time t;
@@ -71,6 +78,8 @@ class Kernel {
   Time now_ = 0.0;
   std::uint64_t next_seq_ = 1;  // 0 is the invalid EventId
   std::uint64_t processed_ = 0;
+  std::uint64_t cancelled_ = 0;
+  std::size_t heap_hwm_ = 0;
   std::priority_queue<QEntry, std::vector<QEntry>, std::greater<>> queue_;
   std::unordered_map<std::uint64_t, Handler> handlers_;
 };

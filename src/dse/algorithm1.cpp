@@ -1,32 +1,35 @@
 #include "dse/algorithm1.hpp"
 
 #include <algorithm>
-#include <chrono>
 #include <limits>
 
 #include "common/assert.hpp"
 #include "exec/batch_evaluator.hpp"
 #include "model/power.hpp"
+#include "obs/timer.hpp"
 
 namespace hi::dse {
 
 ExplorationResult run_algorithm1(const model::Scenario& scenario,
                                  Evaluator& eval,
-                                 const Algorithm1Options& opt) {
-  HI_REQUIRE(opt.pdr_min >= 0.0 && opt.pdr_min <= 1.0,
-             "pdr_min must be in [0,1], got " << opt.pdr_min);
-  const auto t0 = std::chrono::steady_clock::now();
-  const std::uint64_t sims0 = eval.simulations();
+                                 const ExplorationOptions& opt) {
+  detail::RunScope scope(ExplorerKind::kAlgorithm1, eval, opt);
+  const int max_iterations = opt.budget >= 0 ? opt.budget : 10'000;
 
   MilpEncoding encoding(scenario);
+  // Route the inner solver's milp.* counters into this run's registry
+  // (whatever the caller put in opt.milp.metrics would escape the
+  // snapshot delta that feeds ExplorationResult::milp_bnb_nodes).
+  milp::Options milp_opt = opt.milp;
+  milp_opt.metrics = &scope.registry();
+
   ExplorationResult res;
   bool have_best = false;
 
   // RunSim engine: each MILP level hands back its whole alternative-
   // optima set at once, which batch-evaluates concurrently (bit-identical
   // to serial; see exec::BatchEvaluator).  One pool serves every round.
-  exec::BatchEvaluator batch(
-      eval, opt.threads >= 0 ? opt.threads : eval.settings().threads);
+  exec::BatchEvaluator batch(eval, scope.threads());
 
   // Termination bounds (Sec. 3).  The paper stops when P̄*/α(S*) exceeds
   // the incumbent's simulated power, with α = P̄/P̄lb the loss discount.
@@ -74,11 +77,13 @@ ExplorationResult run_algorithm1(const model::Scenario& scenario,
     return lo;
   };
 
-  for (res.iterations = 0; res.iterations < opt.max_iterations;
+  for (res.iterations = 0; res.iterations < max_iterations;
        ++res.iterations) {
     // ---- line 3: RunMILP --------------------------------------------------
-    const MilpRound round = encoding.run_milp(opt.milp);
-    res.milp_bnb_nodes += round.bnb_nodes;
+    const MilpRound round = [&] {
+      obs::ScopedTimer timer(&scope.registry(), "alg1.milp_s");
+      return encoding.run_milp(milp_opt);
+    }();
 
     // ---- line 4: infeasible problem ---------------------------------------
     if (round.candidates.empty() && !have_best) {
@@ -118,8 +123,10 @@ ExplorationResult run_algorithm1(const model::Scenario& scenario,
 
     // ---- line 7: RunSim (the whole level concurrently) ---------------------
     // ---- line 8: Sort (track the feasible minimum directly) ---------------
-    const std::vector<const Evaluation*> evals =
-        batch.evaluate(round.candidates);
+    const std::vector<const Evaluation*> evals = [&] {
+      obs::ScopedTimer timer(&scope.registry(), "alg1.sim_s");
+      return batch.evaluate(round.candidates);
+    }();
     bool round_feasible = false;
     model::NetworkConfig round_best;
     double round_best_power = 0.0;
@@ -153,13 +160,21 @@ ExplorationResult run_algorithm1(const model::Scenario& scenario,
 
     // ---- line 11: Update — exclude the exhausted power level --------------
     encoding.add_power_cut_above(round.power_mw);
+    scope.registry().counter("alg1.cuts_added").add(1);
+    scope.progress(res.iterations + 1, res);
   }
 
-  res.simulations = eval.simulations() - sims0;
-  res.wall_time_s = std::chrono::duration<double>(
-                        std::chrono::steady_clock::now() - t0)
-                        .count();
+  scope.finish(res);
   return res;
 }
+
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+ExplorationResult run_algorithm1(const model::Scenario& scenario,
+                                 Evaluator& eval,
+                                 const Algorithm1Options& opt) {
+  return run_algorithm1(scenario, eval, opt.to_exploration_options());
+}
+#pragma GCC diagnostic pop
 
 }  // namespace hi::dse

@@ -7,36 +7,25 @@
 // Termination: the MILP runs dry, or the α-discounted analytic power of
 // the next level is guaranteed to exceed the simulated incumbent
 // (line 5 of the paper's listing).
+//
+// The preferred entry point is run_algorithm1(scenario, eval,
+// ExplorationOptions) declared in dse/explorer.hpp (or
+// Explorer::algorithm1().run(...)); the Algorithm1Options overload below
+// is a deprecated shim kept so pre-unification call sites compile.
 #pragma once
 
 #include "dse/evaluator.hpp"
 #include "dse/exploration.hpp"
+#include "dse/explorer.hpp"
 #include "dse/milp_encoding.hpp"
 #include "model/design_space.hpp"
 #include "model/power.hpp"
 
 namespace hi::dse {
 
-/// Which early-termination bound the loop uses (line 5 of the listing).
-enum class TerminationBound {
-  /// Per-cell routing-free power floors (model::power_lower_bound_mw):
-  /// stop only when *every* configuration the MILP could still propose
-  /// provably consumes more than the incumbent, even under maximal
-  /// packet loss.  Guaranteed to return the exhaustive-search optimum
-  /// (cross-checked by the test sweeps).
-  kSoundFloor,
-  /// The paper's literal rule: α = P̄(S*) / P̄lb(S*) with the uniform
-  /// loss discount P̄lb = Pbl + PDRmin (P̄ - Pbl), applied to the
-  /// incumbent's own cell.  Terminates much earlier (reproduces the
-  /// ~87% simulation saving) but is *not* sound when a cheap lossy
-  /// configuration hides on a pruned level — e.g. a CSMA mesh whose
-  /// relay storms collide, whose simulated power collapses far below
-  /// the NreTx-scaled analytic estimate.  bench_alg1_vs_exhaustive
-  /// measures both modes.
-  kPaperAlpha,
-};
-
-/// Algorithm-1 knobs.
+/// Pre-unification Algorithm-1 knobs.  Superseded by ExplorationOptions
+/// (dse/explorer.hpp), which adds the observability and progress hooks;
+/// this struct maps onto it field by field (max_iterations -> budget).
 struct Algorithm1Options {
   double pdr_min = 0.9;          ///< PDRmin, in [0,1]
   int max_iterations = 10'000;   ///< safety valve on outer loop
@@ -54,12 +43,27 @@ struct Algorithm1Options {
   /// incumbent, and the simulation counters are bit-identical at any
   /// value.
   int threads = -1;
+
+  /// The equivalent unified options value.
+  [[nodiscard]] ExplorationOptions to_exploration_options() const {
+    ExplorationOptions out;
+    out.pdr_min = pdr_min;
+    out.budget = max_iterations;
+    out.threads = threads;
+    out.use_alpha_termination = use_alpha_termination;
+    out.bound = bound;
+    out.alpha_kappa = alpha_kappa;
+    out.milp = milp;
+    return out;
+  }
 };
 
-/// Runs Algorithm 1 on `scenario`, evaluating candidates through `eval`.
-/// The evaluator's simulation counter delta is reported in the result.
-[[nodiscard]] ExplorationResult run_algorithm1(const model::Scenario& scenario,
-                                               Evaluator& eval,
-                                               const Algorithm1Options& opt);
+/// Deprecated shim: forwards to the ExplorationOptions overload
+/// (dse/explorer.hpp).
+[[deprecated("use run_algorithm1(scenario, eval, ExplorationOptions) from "
+             "dse/explorer.hpp")]] [[nodiscard]]
+ExplorationResult run_algorithm1(const model::Scenario& scenario,
+                                 Evaluator& eval,
+                                 const Algorithm1Options& opt);
 
 }  // namespace hi::dse

@@ -1,6 +1,5 @@
 #include "dse/annealing.hpp"
 
-#include <chrono>
 #include <cmath>
 
 #include "common/assert.hpp"
@@ -71,19 +70,16 @@ State neighbour(const model::Scenario& sc, const State& s, Rng& rng) {
 
 ExplorationResult run_annealing(const model::Scenario& scenario,
                                 Evaluator& eval,
-                                const AnnealingOptions& opt) {
-  HI_REQUIRE(opt.pdr_min >= 0.0 && opt.pdr_min <= 1.0,
-             "pdr_min must be in [0,1]");
-  HI_REQUIRE(opt.steps >= 1, "need at least one step");
+                                const ExplorationOptions& opt) {
+  const int steps = opt.budget >= 0 ? opt.budget : 400;
+  HI_REQUIRE(steps >= 1, "need at least one step");
   HI_REQUIRE(opt.t_start_mw > 0.0 && opt.t_end_mw > 0.0 &&
                  opt.t_start_mw >= opt.t_end_mw,
              "temperatures must satisfy t_start >= t_end > 0");
-  const auto t0 = std::chrono::steady_clock::now();
-  const std::uint64_t sims0 = eval.simulations();
+  detail::RunScope scope(ExplorerKind::kAnnealing, eval, opt);
   Rng rng(opt.seed);
 
-  const auto energy = [&](const model::NetworkConfig& cfg,
-                          const Evaluation& ev) {
+  const auto energy = [&](const Evaluation& ev) {
     const double shortfall = std::max(0.0, opt.pdr_min - ev.pdr);
     return ev.power_mw + opt.penalty_mw_per_pdr * shortfall;
   };
@@ -117,13 +113,14 @@ ExplorationResult run_annealing(const model::Scenario& scenario,
       res.best_nlt_s = ev.nlt_s;
     }
   }
-  double cur_energy = energy(cur_cfg, eval.evaluate(cur_cfg));
+  double cur_energy = energy(eval.evaluate(cur_cfg));
 
   const double decay =
-      std::pow(opt.t_end_mw / opt.t_start_mw, 1.0 / opt.steps);
+      std::pow(opt.t_end_mw / opt.t_start_mw, 1.0 / steps);
   double temperature = opt.t_start_mw;
 
-  for (res.iterations = 0; res.iterations < opt.steps; ++res.iterations) {
+  obs::Counter& accepted = scope.registry().counter("sa.accepted");
+  for (res.iterations = 0; res.iterations < steps; ++res.iterations) {
     temperature *= decay;
     const State cand = neighbour(scenario, cur, rng);
     const model::NetworkConfig cand_cfg = to_config(scenario, cand);
@@ -139,20 +136,28 @@ ExplorationResult run_annealing(const model::Scenario& scenario,
       res.best_pdr = ev.pdr;
       res.best_nlt_s = ev.nlt_s;
     }
-    const double cand_energy = energy(cand_cfg, ev);
+    const double cand_energy = energy(ev);
     const double delta = cand_energy - cur_energy;
     if (delta <= 0.0 || rng.bernoulli(std::exp(-delta / temperature))) {
+      accepted.add(1);
       cur = cand;
       cur_cfg = cand_cfg;
       cur_energy = cand_energy;
     }
+    scope.progress(res.iterations + 1, res);
   }
 
-  res.simulations = eval.simulations() - sims0;
-  res.wall_time_s = std::chrono::duration<double>(
-                        std::chrono::steady_clock::now() - t0)
-                        .count();
+  scope.finish(res);
   return res;
 }
+
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+ExplorationResult run_annealing(const model::Scenario& scenario,
+                                Evaluator& eval,
+                                const AnnealingOptions& opt) {
+  return run_annealing(scenario, eval, opt.to_exploration_options());
+}
+#pragma GCC diagnostic pop
 
 }  // namespace hi::dse

@@ -8,15 +8,23 @@
 // power plus a steep penalty proportional to the PDR shortfall below
 // PDRmin, so the annealer is pulled toward feasible low-power designs.
 // Cooling: exponential (Kirkpatrick) schedule from t_start to t_end.
+//
+// The preferred entry point is run_annealing(scenario, eval,
+// ExplorationOptions) declared in dse/explorer.hpp (or
+// Explorer::annealing().run(...)); the AnnealingOptions overload below
+// is a deprecated shim kept so pre-unification call sites compile.
 #pragma once
 
 #include "dse/evaluator.hpp"
 #include "dse/exploration.hpp"
+#include "dse/explorer.hpp"
 #include "model/design_space.hpp"
 
 namespace hi::dse {
 
-/// Annealer knobs.
+/// Pre-unification annealer knobs.  Superseded by ExplorationOptions
+/// (dse/explorer.hpp); this struct maps onto it field by field
+/// (steps -> budget).
 struct AnnealingOptions {
   double pdr_min = 0.9;
   int steps = 400;              ///< annealing iterations
@@ -26,13 +34,26 @@ struct AnnealingOptions {
   double t_end_mw = 0.005;      ///< final temperature
   double penalty_mw_per_pdr = 50.0;  ///< infeasibility penalty slope
   std::uint64_t seed = 7;       ///< annealer randomness (moves/acceptance)
+
+  /// The equivalent unified options value.
+  [[nodiscard]] ExplorationOptions to_exploration_options() const {
+    ExplorationOptions out;
+    out.pdr_min = pdr_min;
+    out.budget = steps;
+    out.seed = seed;
+    out.t_start_mw = t_start_mw;
+    out.t_end_mw = t_end_mw;
+    out.penalty_mw_per_pdr = penalty_mw_per_pdr;
+    return out;
+  }
 };
 
-/// Runs simulated annealing on `scenario`.  Simulations are counted via
-/// the evaluator (revisited states hit the cache and are not recounted,
-/// which favors the baseline).
-[[nodiscard]] ExplorationResult run_annealing(const model::Scenario& scenario,
-                                              Evaluator& eval,
-                                              const AnnealingOptions& opt);
+/// Deprecated shim: forwards to the ExplorationOptions overload
+/// (dse/explorer.hpp).
+[[deprecated("use run_annealing(scenario, eval, ExplorationOptions) from "
+             "dse/explorer.hpp")]] [[nodiscard]]
+ExplorationResult run_annealing(const model::Scenario& scenario,
+                                Evaluator& eval,
+                                const AnnealingOptions& opt);
 
 }  // namespace hi::dse

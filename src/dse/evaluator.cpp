@@ -10,6 +10,7 @@ Evaluator::Evaluator(EvaluatorSettings settings)
   HI_REQUIRE(settings_.channel != nullptr, "channel factory required");
   HI_REQUIRE(settings_.threads >= 0, "threads must be >= 0 (0 = serial), got "
                                          << settings_.threads);
+  set_metrics(settings_.metrics);
 }
 
 void Evaluator::reset_counters() {

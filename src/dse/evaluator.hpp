@@ -27,6 +27,8 @@
 #include "common/rng.hpp"
 #include "model/config.hpp"
 #include "net/network.hpp"
+#include "obs/metrics.hpp"
+#include "obs/timer.hpp"
 
 namespace hi::dse {
 
@@ -47,7 +49,17 @@ struct EvaluatorSettings {
   /// through hi::exec::BatchEvaluator.  0 = serial (the default,
   /// preserving every existing call site).  Any value yields
   /// bit-identical results and counters; see the file comment.
+  /// Deprecated in favour of ExplorationOptions::threads (dse/explorer.hpp),
+  /// which overrides this when >= 0; kept as the evaluator-wide default.
   int threads = 0;
+  /// Observability registry (null = not observed).  The evaluator
+  /// records `dse.simulations` / `dse.cache_hits` counters — mirroring
+  /// simulations()/cache_hits() exactly — the `dse.simulate_s` timing
+  /// histogram, and forwards the registry into every simulation run
+  /// (net.* / des.* counters).  Explorers install their own registry for
+  /// the duration of a run when ExplorationOptions::metrics is set; see
+  /// Evaluator::set_metrics.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// See file comment.
@@ -86,6 +98,11 @@ class Evaluator {
     sp.channel_seed = settings_.sim.channel_seed != 0
                           ? settings_.sim.channel_seed
                           : settings_.sim.seed;
+    // Stack counters (net.* / des.*) flow into the active registry; the
+    // registry is atomic, so concurrent workers recording is safe and
+    // the sums are thread-count-independent.
+    sp.metrics = metrics_;
+    obs::ScopedTimer timer(metrics_, "dse.simulate_s");
     Evaluation ev;
     ev.detail = net::simulate_averaged(cfg, sp, settings_.runs,
                                        settings_.channel);
@@ -113,6 +130,9 @@ class Evaluator {
     const std::uint64_t key = cfg.design_key();
     if (counted_this_epoch_.insert(key).second) {
       ++simulations_;
+      if (sims_counter_ != nullptr) {
+        sims_counter_->add(1);  // the paper's headline count, mirrored
+      }
     }
     if (const auto it = cache_.find(key); it != cache_.end()) {
       HI_REQUIRE(it->second.cfg == cfg,
@@ -121,6 +141,9 @@ class Evaluator {
                      << "; the cached result would be wrong for one of "
                         "them — widen design_key()");
       ++cache_hits_;
+      if (cache_hits_counter_ != nullptr) {
+        cache_hits_counter_->add(1);
+      }
       return it->second.ev;
     }
     CacheEntry entry{cfg, precomputed != nullptr ? *precomputed
@@ -144,6 +167,23 @@ class Evaluator {
 
   [[nodiscard]] const EvaluatorSettings& settings() const { return settings_; }
 
+  /// The active observability registry (may be null).
+  [[nodiscard]] obs::MetricsRegistry* metrics() const { return metrics_; }
+
+  /// Swaps the active registry (null detaches) and returns the previous
+  /// one.  Explorers install a per-run registry through this and restore
+  /// the old one afterwards.  Must not be called while a batch
+  /// evaluation is in flight (same rule as using the evaluator directly;
+  /// see exec::BatchEvaluator).
+  obs::MetricsRegistry* set_metrics(obs::MetricsRegistry* m) {
+    obs::MetricsRegistry* prev = metrics_;
+    metrics_ = m;
+    sims_counter_ = m != nullptr ? &m->counter("dse.simulations") : nullptr;
+    cache_hits_counter_ =
+        m != nullptr ? &m->counter("dse.cache_hits") : nullptr;
+    return prev;
+  }
+
  private:
   /// The canonical config rides along with each result so admit() can
   /// prove a hit really is the same design point (collision guard).
@@ -157,6 +197,10 @@ class Evaluator {
   std::unordered_set<std::uint64_t> counted_this_epoch_;
   std::uint64_t simulations_ = 0;
   std::uint64_t cache_hits_ = 0;
+  /// Active registry + cached instrument pointers (admit() is hot).
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::Counter* sims_counter_ = nullptr;
+  obs::Counter* cache_hits_counter_ = nullptr;
 };
 
 }  // namespace hi::dse

@@ -1,7 +1,6 @@
 #include "dse/exhaustive.hpp"
 
 #include <algorithm>
-#include <chrono>
 
 #include "common/assert.hpp"
 #include "exec/batch_evaluator.hpp"
@@ -10,14 +9,12 @@
 namespace hi::dse {
 
 ExplorationResult run_exhaustive(const model::Scenario& scenario,
-                                 Evaluator& eval, double pdr_min) {
-  HI_REQUIRE(pdr_min >= 0.0 && pdr_min <= 1.0,
-             "pdr_min must be in [0,1], got " << pdr_min);
-  const auto t0 = std::chrono::steady_clock::now();
-  const std::uint64_t sims0 = eval.simulations();
+                                 Evaluator& eval,
+                                 const ExplorationOptions& opt) {
+  detail::RunScope scope(ExplorerKind::kExhaustive, eval, opt);
 
   const std::vector<model::NetworkConfig> space = scenario.feasible_configs();
-  const int threads = eval.settings().threads;
+  const int threads = scope.threads();
   exec::BatchEvaluator batch(eval, threads);
   // Sweep the design space in chunks: wide enough to keep every worker
   // busy, small enough to bound the in-flight result memory.  Chunking
@@ -41,7 +38,7 @@ ExplorationResult run_exhaustive(const model::Scenario& scenario,
       res.history.push_back(CandidateRecord{cfg, model::node_power_mw(cfg),
                                             ev.pdr, ev.power_mw, ev.nlt_s});
       ++res.iterations;
-      if (ev.pdr >= pdr_min &&
+      if (ev.pdr >= opt.pdr_min &&
           (!res.feasible || ev.power_mw < res.best_power_mw)) {
         res.feasible = true;
         res.best = cfg;
@@ -50,12 +47,21 @@ ExplorationResult run_exhaustive(const model::Scenario& scenario,
         res.best_nlt_s = ev.nlt_s;
       }
     }
+    scope.progress(res.iterations, res);  // one heartbeat per chunk
   }
-  res.simulations = eval.simulations() - sims0;
-  res.wall_time_s = std::chrono::duration<double>(
-                        std::chrono::steady_clock::now() - t0)
-                        .count();
+
+  scope.finish(res);
   return res;
 }
+
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+ExplorationResult run_exhaustive(const model::Scenario& scenario,
+                                 Evaluator& eval, double pdr_min) {
+  ExplorationOptions opt;
+  opt.pdr_min = pdr_min;
+  return run_exhaustive(scenario, eval, opt);
+}
+#pragma GCC diagnostic pop
 
 }  // namespace hi::dse

@@ -5,21 +5,25 @@
 // the reliability bound.  This is the ground truth Algorithm 1 is
 // compared against ("87% reduction in the number of required
 // simulations") and also the generator of Fig. 3's full scatter.
+//
+// The preferred entry point is run_exhaustive(scenario, eval,
+// ExplorationOptions) declared in dse/explorer.hpp (or
+// Explorer::exhaustive().run(...)); the double-pdr_min overload below is
+// a deprecated shim kept so pre-unification call sites compile.
 #pragma once
 
 #include "dse/evaluator.hpp"
 #include "dse/exploration.hpp"
+#include "dse/explorer.hpp"
 #include "model/design_space.hpp"
 
 namespace hi::dse {
 
-/// Runs exhaustive search on `scenario` at the given reliability bound.
-/// When the evaluator's EvaluatorSettings::threads is nonzero, the sweep
-/// batch-evaluates the design space in parallel chunks through
-/// hi::exec::BatchEvaluator — bit-identical to the serial sweep,
-/// including the simulation counters.
-[[nodiscard]] ExplorationResult run_exhaustive(const model::Scenario& scenario,
-                                               Evaluator& eval,
-                                               double pdr_min);
+/// Deprecated shim: forwards to the ExplorationOptions overload
+/// (dse/explorer.hpp) with only pdr_min set.
+[[deprecated("use run_exhaustive(scenario, eval, ExplorationOptions) from "
+             "dse/explorer.hpp")]] [[nodiscard]]
+ExplorationResult run_exhaustive(const model::Scenario& scenario,
+                                 Evaluator& eval, double pdr_min);
 
 }  // namespace hi::dse

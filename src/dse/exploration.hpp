@@ -2,10 +2,12 @@
 // (Algorithm 1, exhaustive search, simulated annealing).
 #pragma once
 
+#include <cstdint>
 #include <limits>
 #include <vector>
 
 #include "model/config.hpp"
+#include "obs/snapshot.hpp"
 
 namespace hi::dse {
 
@@ -27,9 +29,18 @@ struct ExplorationResult {
   double best_nlt_s = 0.0;
   int iterations = 0;            ///< explorer-specific outer iterations
   std::uint64_t simulations = 0; ///< distinct design points simulated
-  int milp_bnb_nodes = 0;        ///< Algorithm 1 only
+  /// Branch-and-bound nodes spent by RunMILP (Algorithm 1 only; 0 for
+  /// the other explorers).  Populated from the run's `milp.bnb_nodes`
+  /// counter, so it covers every solve the round triggered.
+  std::uint64_t milp_bnb_nodes = 0;
   double wall_time_s = 0.0;
   std::vector<CandidateRecord> history;  ///< every simulated candidate
+  /// Delta of every metric recorded during this run (dse.*, net.*,
+  /// des.*, milp.*, exec.*; see DESIGN.md §8).  Always populated — when
+  /// the caller supplies no registry the explorer uses a private one —
+  /// and `metrics.counter("dse.simulations")` equals `simulations`
+  /// exactly, at any thread count.
+  obs::Snapshot metrics;
 };
 
 }  // namespace hi::dse

@@ -1,0 +1,111 @@
+#include "dse/explorer.hpp"
+
+#include <chrono>
+
+#include "common/assert.hpp"
+
+namespace hi::dse {
+
+namespace {
+
+double steady_now_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+const char* to_string(ExplorerKind kind) {
+  switch (kind) {
+    case ExplorerKind::kAlgorithm1:
+      return "algorithm1";
+    case ExplorerKind::kExhaustive:
+      return "exhaustive";
+    case ExplorerKind::kAnnealing:
+      return "annealing";
+  }
+  return "unknown";
+}
+
+ExplorationResult Explorer::run(const model::Scenario& scenario,
+                                Evaluator& eval,
+                                const ExplorationOptions& opt) const {
+  switch (kind_) {
+    case ExplorerKind::kAlgorithm1:
+      return run_algorithm1(scenario, eval, opt);
+    case ExplorerKind::kExhaustive:
+      return run_exhaustive(scenario, eval, opt);
+    case ExplorerKind::kAnnealing:
+      return run_annealing(scenario, eval, opt);
+  }
+  HI_ASSERT_MSG(false, "unknown ExplorerKind "
+                           << static_cast<int>(kind_));
+  return {};  // unreachable; assert_fail is [[noreturn]]
+}
+
+namespace detail {
+
+RunScope::RunScope(ExplorerKind kind, Evaluator& eval,
+                   const ExplorationOptions& opt)
+    : kind_(kind), eval_(eval), opt_(opt) {
+  HI_REQUIRE(opt.pdr_min >= 0.0 && opt.pdr_min <= 1.0,
+             "pdr_min must be in [0,1], got " << opt.pdr_min);
+  HI_REQUIRE(opt.threads >= -1,
+             "threads must be >= -1 (-1 = inherit the evaluator's), got "
+                 << opt.threads);
+  threads_ = opt.threads >= 0 ? opt.threads : eval.settings().threads;
+
+  registry_ = opt.metrics != nullptr ? opt.metrics : eval.metrics();
+  if (registry_ == nullptr) {
+    // No registry anywhere: the run still measures itself so the result
+    // snapshot is always populated (the paper's headline numbers ride
+    // on it), just into a private registry nobody else sees.
+    owned_ = std::make_unique<obs::MetricsRegistry>();
+    registry_ = owned_.get();
+  }
+  if (registry_ != eval.metrics()) {
+    previous_ = eval.set_metrics(registry_);
+    installed_ = true;
+  }
+  start_ = registry_->snapshot();
+  sims0_ = eval.simulations();
+  t0_s_ = steady_now_s();
+}
+
+RunScope::~RunScope() {
+  if (installed_) {
+    eval_.set_metrics(previous_);
+  }
+}
+
+void RunScope::progress(int iteration, const ExplorationResult& res) const {
+  if (!opt_.progress) {
+    return;
+  }
+  ProgressInfo info;
+  info.kind = kind_;
+  info.iteration = iteration;
+  info.simulations = eval_.simulations() - sims0_;
+  info.feasible = res.feasible;
+  info.best_power_mw = res.best_power_mw;
+  opt_.progress(info);
+}
+
+void RunScope::finish(ExplorationResult& res) {
+  res.simulations = eval_.simulations() - sims0_;
+  res.wall_time_s = steady_now_s() - t0_s_;
+  registry_->histogram("dse.run_s").observe(res.wall_time_s);
+  registry_->counter("dse.runs").add(1);
+  res.metrics = registry_->snapshot().delta_since(start_);
+  res.milp_bnb_nodes = res.metrics.counter("milp.bnb_nodes");
+  HI_ASSERT_MSG(res.metrics.counter("dse.simulations") == res.simulations,
+                "metric dse.simulations ("
+                    << res.metrics.counter("dse.simulations")
+                    << ") disagrees with the evaluator's count ("
+                    << res.simulations << ")");
+}
+
+}  // namespace detail
+
+}  // namespace hi::dse

@@ -1,0 +1,214 @@
+// hi-opt: the unified explorer front end.
+//
+// The three exploration strategies — Algorithm 1 (MILP + simulation),
+// exhaustive search, and simulated annealing — historically each grew
+// their own options struct with duplicated knobs (pdr_min, threads).
+// ExplorationOptions is the one bag every explorer consumes; the knobs a
+// strategy does not use are simply ignored, so one options value can
+// drive a fair three-way comparison.  Explorer is a small value type
+// that names a strategy and dispatches run(); benches iterate
+// Explorer::all() instead of hand-rolling three call sites.
+//
+// Observability: every run is wrapped in a detail::RunScope that
+// installs the active obs::MetricsRegistry into the evaluator (the
+// caller's via ExplorationOptions::metrics, the evaluator's own, or a
+// private one — in that order), snapshots it before and after, and
+// stores the delta in ExplorationResult::metrics.  The legacy scalar
+// fields (`simulations`, `milp_bnb_nodes`) are populated from the same
+// counters, so they always agree with the snapshot bit-for-bit.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "dse/evaluator.hpp"
+#include "dse/exploration.hpp"
+#include "milp/solver.hpp"
+#include "model/design_space.hpp"
+#include "model/power.hpp"
+#include "obs/metrics.hpp"
+
+namespace hi::dse {
+
+/// The three exploration strategies.
+enum class ExplorerKind {
+  kAlgorithm1,  ///< the paper's MILP + simulation loop
+  kExhaustive,  ///< simulate the whole feasible design space
+  kAnnealing,   ///< simulated-annealing baseline
+};
+
+[[nodiscard]] const char* to_string(ExplorerKind kind);
+
+/// Which early-termination bound Algorithm 1 uses (line 5 of the
+/// paper's listing).
+enum class TerminationBound {
+  /// Per-cell routing-free power floors (model::power_lower_bound_mw):
+  /// stop only when *every* configuration the MILP could still propose
+  /// provably consumes more than the incumbent, even under maximal
+  /// packet loss.  Guaranteed to return the exhaustive-search optimum
+  /// (cross-checked by the test sweeps).
+  kSoundFloor,
+  /// The paper's literal rule: α = P̄(S*) / P̄lb(S*) with the uniform
+  /// loss discount P̄lb = Pbl + PDRmin (P̄ - Pbl), applied to the
+  /// incumbent's own cell.  Terminates much earlier (reproduces the
+  /// ~87% simulation saving) but is *not* sound when a cheap lossy
+  /// configuration hides on a pruned level — e.g. a CSMA mesh whose
+  /// relay storms collide, whose simulated power collapses far below
+  /// the NreTx-scaled analytic estimate.  bench_alg1_vs_exhaustive
+  /// measures both modes.
+  kPaperAlpha,
+};
+
+/// A progress heartbeat handed to ExplorationOptions::progress.
+struct ProgressInfo {
+  ExplorerKind kind{};            ///< which explorer is reporting
+  int iteration = 0;              ///< explorer-specific outer iteration
+  std::uint64_t simulations = 0;  ///< distinct design points so far
+  bool feasible = false;          ///< an incumbent meeting PDRmin exists
+  double best_power_mw = 0.0;     ///< incumbent power (valid if feasible)
+};
+
+/// Progress callback.  Called from the exploring thread between
+/// evaluation rounds — cheap work only; never re-enter the evaluator.
+using ProgressFn = std::function<void(const ProgressInfo&)>;
+
+/// The one options bag all explorers consume.  Strategy-specific knobs
+/// are grouped and ignored by the other strategies.
+struct ExplorationOptions {
+  double pdr_min = 0.9;  ///< PDRmin, in [0,1]
+
+  /// Outer-iteration budget; -1 = the strategy's default (Algorithm 1:
+  /// 10'000 rounds, a safety valve; annealing: 400 steps).  Exhaustive
+  /// search always sweeps the whole space and ignores it.
+  int budget = -1;
+
+  /// Worker threads for batch evaluation (hi::exec::BatchEvaluator).
+  /// -1 inherits EvaluatorSettings::threads, 0 forces serial.  Results,
+  /// incumbents, and all counters are bit-identical at any value.
+  int threads = -1;
+
+  /// Randomness of the annealer's moves and acceptance (the other
+  /// strategies are deterministic and ignore it).
+  std::uint64_t seed = 7;
+
+  // --- Algorithm 1 ---------------------------------------------------
+  bool use_alpha_termination = true;  ///< ablation switch (off = run the
+                                      ///< MILP completely dry)
+  TerminationBound bound = TerminationBound::kSoundFloor;
+  /// Loss-discount safety factor of the bound; smaller is more
+  /// conservative (more simulations, same optimum).  See
+  /// model::power_lower_bound_mw.
+  double alpha_kappa = model::kLossDiscountKappa;
+  /// Inner MILP solver knobs.  Options::metrics is overridden with the
+  /// run's active registry so milp.* counters land in the snapshot.
+  milp::Options milp{};
+
+  // --- simulated annealing -------------------------------------------
+  double t_start_mw = 2.0;  ///< initial temperature (energy is in mW;
+                            ///< hot enough to cross the star->mesh
+                            ///< power barrier early on)
+  double t_end_mw = 0.005;  ///< final temperature
+  double penalty_mw_per_pdr = 50.0;  ///< infeasibility penalty slope
+
+  // --- observability -------------------------------------------------
+  /// Registry the run records into; installed into the evaluator for
+  /// the duration of the run (and restored afterwards).  Null = use the
+  /// evaluator's own registry, or a run-private one if it has none.
+  /// Either way ExplorationResult::metrics carries the run's delta.
+  obs::MetricsRegistry* metrics = nullptr;
+  ProgressFn progress;  ///< empty = no progress reporting
+};
+
+/// Runs Algorithm 1 on `scenario`, evaluating candidates through `eval`.
+[[nodiscard]] ExplorationResult run_algorithm1(const model::Scenario& scenario,
+                                               Evaluator& eval,
+                                               const ExplorationOptions& opt);
+
+/// Runs exhaustive search (budget is ignored; the whole space is swept).
+[[nodiscard]] ExplorationResult run_exhaustive(const model::Scenario& scenario,
+                                               Evaluator& eval,
+                                               const ExplorationOptions& opt);
+
+/// Runs simulated annealing.  Simulations are counted via the evaluator
+/// (revisited states hit the cache and are not recounted, which favors
+/// the baseline).
+[[nodiscard]] ExplorationResult run_annealing(const model::Scenario& scenario,
+                                              Evaluator& eval,
+                                              const ExplorationOptions& opt);
+
+/// A named exploration strategy; run() dispatches to the matching
+/// run_* function.  Copyable value type.
+class Explorer {
+ public:
+  [[nodiscard]] static Explorer algorithm1() {
+    return Explorer(ExplorerKind::kAlgorithm1);
+  }
+  [[nodiscard]] static Explorer exhaustive() {
+    return Explorer(ExplorerKind::kExhaustive);
+  }
+  [[nodiscard]] static Explorer annealing() {
+    return Explorer(ExplorerKind::kAnnealing);
+  }
+  /// All strategies, in the order the paper compares them.
+  [[nodiscard]] static std::vector<Explorer> all() {
+    return {algorithm1(), exhaustive(), annealing()};
+  }
+
+  [[nodiscard]] ExplorerKind kind() const { return kind_; }
+  [[nodiscard]] const char* name() const { return to_string(kind_); }
+
+  [[nodiscard]] ExplorationResult run(const model::Scenario& scenario,
+                                      Evaluator& eval,
+                                      const ExplorationOptions& opt = {}) const;
+
+ private:
+  explicit Explorer(ExplorerKind kind) : kind_(kind) {}
+  ExplorerKind kind_;
+};
+
+namespace detail {
+
+/// RAII harness shared by the three run_* functions: validates the
+/// common options, resolves the active registry (see the file comment)
+/// and installs it into the evaluator, snapshots the metrics baseline,
+/// and on finish() fills the result's simulations / wall_time_s /
+/// metrics / milp_bnb_nodes fields from the same counters.  The
+/// destructor restores the evaluator's previous registry.
+class RunScope {
+ public:
+  RunScope(ExplorerKind kind, Evaluator& eval, const ExplorationOptions& opt);
+  ~RunScope();
+  RunScope(const RunScope&) = delete;
+  RunScope& operator=(const RunScope&) = delete;
+
+  /// The registry this run records into; never null.
+  [[nodiscard]] obs::MetricsRegistry& registry() const { return *registry_; }
+
+  /// Resolved worker-thread count (options override, else evaluator).
+  [[nodiscard]] int threads() const { return threads_; }
+
+  /// Invokes the caller's progress callback (no-op when unset).
+  void progress(int iteration, const ExplorationResult& res) const;
+
+  /// Fills the run-summary fields of `res`; call exactly once, last.
+  void finish(ExplorationResult& res);
+
+ private:
+  ExplorerKind kind_;
+  Evaluator& eval_;
+  const ExplorationOptions& opt_;
+  std::unique_ptr<obs::MetricsRegistry> owned_;  ///< fallback registry
+  obs::MetricsRegistry* registry_ = nullptr;
+  obs::MetricsRegistry* previous_ = nullptr;
+  bool installed_ = false;
+  obs::Snapshot start_;
+  std::uint64_t sims0_ = 0;
+  int threads_ = 0;
+  double t0_s_ = 0.0;  ///< steady-clock start, in seconds
+};
+
+}  // namespace detail
+
+}  // namespace hi::dse

@@ -175,6 +175,16 @@ MilpEncoding::MilpEncoding(const model::Scenario& scenario)
 
 MilpRound MilpEncoding::run_milp(const milp::Options& opt,
                                  int max_solutions) {
+  MilpRound round = run_milp_impl(opt, max_solutions);
+  if (opt.metrics != nullptr) {
+    opt.metrics->counter("milp.pool_solutions")
+        .add(round.candidates.size());
+  }
+  return round;
+}
+
+MilpRound MilpEncoding::run_milp_impl(const milp::Options& opt,
+                                      int max_solutions) {
   milp::Options effective = opt;
   if (effective.branch_priority.empty()) {
     // The objective is fully determined by (p, rt, z); settle those

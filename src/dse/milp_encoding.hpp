@@ -43,7 +43,10 @@ class MilpEncoding {
  public:
   explicit MilpEncoding(const model::Scenario& scenario);
 
-  /// Solves the current relaxed problem and decodes all optima.
+  /// Solves the current relaxed problem and decodes all optima.  When
+  /// opt.metrics is set, additionally records the decoded pool size as
+  /// the `milp.pool_solutions` counter (the solver itself records the
+  /// milp.solves / milp.bnb_nodes / milp.lp_pivots counters).
   [[nodiscard]] MilpRound run_milp(const milp::Options& opt = {},
                                    int max_solutions = 4096);
 
@@ -64,6 +67,8 @@ class MilpEncoding {
   [[nodiscard]] const milp::Model& model() const { return model_; }
 
  private:
+  [[nodiscard]] MilpRound run_milp_impl(const milp::Options& opt,
+                                        int max_solutions);
   [[nodiscard]] double cell_cost_mw(int level, model::RoutingProtocol rt,
                                     int n_nodes) const;
 

@@ -24,12 +24,31 @@ void write_history_csv(const ExplorationResult& result, std::ostream& os) {
   }
 }
 
+namespace {
+
+/// Appends the observability tail of a summary (cache hits, MILP work)
+/// when the run's snapshot carries the relevant counters.
+void append_metrics(const ExplorationResult& result, std::ostringstream& oss) {
+  if (result.metrics.empty()) {
+    return;
+  }
+  oss << "; " << result.metrics.counter("dse.cache_hits") << " cache hits";
+  if (const std::uint64_t nodes = result.metrics.counter("milp.bnb_nodes");
+      nodes > 0) {
+    oss << ", " << nodes << " B&B nodes, "
+        << result.metrics.counter("milp.lp_pivots") << " LP pivots";
+  }
+}
+
+}  // namespace
+
 std::string summarize(const ExplorationResult& result, double pdr_min) {
   std::ostringstream oss;
   if (!result.feasible) {
     oss << "infeasible at PDRmin = " << fmt_percent(pdr_min) << " after "
         << result.simulations << " simulations ("
         << result.iterations << " iterations)";
+    append_metrics(result, oss);
     return oss.str();
   }
   oss << result.best.label() << ": PDR " << fmt_percent(result.best_pdr)
@@ -38,6 +57,7 @@ std::string summarize(const ExplorationResult& result, double pdr_min) {
       << " mW; found with " << result.simulations << " simulations in "
       << result.iterations << " iterations ("
       << fmt_double(result.wall_time_s, 1) << " s)";
+  append_metrics(result, oss);
   return oss.str();
 }
 

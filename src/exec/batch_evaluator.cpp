@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "common/assert.hpp"
+#include "obs/timer.hpp"
 
 namespace hi::exec {
 
@@ -18,6 +19,19 @@ BatchEvaluator::BatchEvaluator(dse::Evaluator& eval, int threads)
 
 std::vector<const dse::Evaluation*> BatchEvaluator::evaluate(
     const std::vector<model::NetworkConfig>& cfgs) {
+  // Resolved per call: explorers install a per-run registry into the
+  // evaluator (see dse::detail::RunScope), so the active one can change
+  // between batches.  Counters are atomic, so concurrent batches on the
+  // same registry are fine; exec.* totals are schedule-dependent (serial
+  // mode schedules no tasks) and deliberately not part of the
+  // bit-identical contract — the dse.* / net.* counters are.
+  obs::MetricsRegistry* metrics = eval_.metrics();
+  obs::ScopedTimer timer(metrics, "exec.batch_s");
+  if (metrics != nullptr) {
+    metrics->counter("exec.batches").add(1);
+    metrics->counter("exec.requests").add(cfgs.size());
+  }
+
   std::vector<const dse::Evaluation*> out;
   out.reserve(cfgs.size());
 
@@ -40,6 +54,9 @@ std::vector<const dse::Evaluation*> BatchEvaluator::evaluate(
       }
       if (const auto it = computed_.find(key); it != computed_.end()) {
         waits.emplace(key, it->second);  // another batch is already on it
+        if (metrics != nullptr) {
+          metrics->counter("exec.dedup_inflight_hits").add(1);
+        }
         continue;
       }
       std::shared_future<dse::Evaluation> fut =
@@ -47,6 +64,9 @@ std::vector<const dse::Evaluation*> BatchEvaluator::evaluate(
               .share();
       computed_.emplace(key, fut);
       waits.emplace(key, fut);
+      if (metrics != nullptr) {
+        metrics->counter("exec.tasks_scheduled").add(1);
+      }
     }
   }
 

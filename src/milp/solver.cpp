@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/assert.hpp"
+#include "obs/timer.hpp"
 
 namespace hi::milp {
 
@@ -41,9 +42,9 @@ struct Node {
   std::vector<double> hi;
 };
 
-}  // namespace
-
-Solution solve(const Model& model, const Options& opt) {
+/// The actual branch-and-bound; solve() wraps it with metric recording
+/// so every early return is covered.
+Solution solve_impl(const Model& model, const Options& opt) {
   const lp::Problem& base = model.lp();
   const std::vector<int> ints = model.integral_variables();
   const bool maximize = base.objective() == lp::Objective::kMaximize;
@@ -179,6 +180,21 @@ Solution solve(const Model& model, const Options& opt) {
   return result;
 }
 
+}  // namespace
+
+Solution solve(const Model& model, const Options& opt) {
+  obs::ScopedTimer timer(opt.metrics, "milp.solve_s");
+  Solution result = solve_impl(model, opt);
+  if (opt.metrics != nullptr) {
+    opt.metrics->counter("milp.solves").add(1);
+    opt.metrics->counter("milp.bnb_nodes")
+        .add(static_cast<std::uint64_t>(result.nodes));
+    opt.metrics->counter("milp.lp_pivots")
+        .add(static_cast<std::uint64_t>(result.lp_iterations));
+  }
+  return result;
+}
+
 Pool solve_all_optimal(const Model& model, const Options& opt,
                        int max_solutions) {
   for (int v : model.integral_variables()) {
@@ -193,6 +209,7 @@ Pool solve_all_optimal(const Model& model, const Options& opt,
 
   Solution first = solve(work, opt);
   pool.nodes += first.nodes;
+  pool.lp_iterations += first.lp_iterations;
   pool.status = first.status;
   if (first.status != lp::Status::kOptimal) {
     return pool;
@@ -220,6 +237,7 @@ Pool solve_all_optimal(const Model& model, const Options& opt,
     work.add_no_good_cut(bins, cur.x);
     cur = solve(work, dive);
     pool.nodes += cur.nodes;
+    pool.lp_iterations += cur.lp_iterations;
     if (cur.status == lp::Status::kInfeasible) {
       return pool;  // no more integer points at all
     }

@@ -13,6 +13,7 @@
 
 #include "lp/simplex.hpp"
 #include "milp/model.hpp"
+#include "obs/metrics.hpp"
 
 namespace hi::milp {
 
@@ -32,6 +33,10 @@ struct Options {
   /// solution pool avoids re-proving optimality for every alternative
   /// optimum.  NaN (default) disables the cutoff.
   double objective_cutoff = std::numeric_limits<double>::quiet_NaN();
+  /// When non-null, every solve records `milp.solves`, `milp.bnb_nodes`,
+  /// `milp.lp_pivots` counters and the `milp.solve_s` timing histogram
+  /// (obs::MetricsRegistry; see DESIGN.md §8).  Null = no recording.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// Result of a single MILP solve.
@@ -49,6 +54,7 @@ struct Pool {
   double objective = 0.0;                   ///< shared optimal value
   std::vector<std::vector<double>> solutions;  ///< distinct binary optima
   int nodes = 0;
+  int lp_iterations = 0;   ///< total simplex pivots across all solves
   bool truncated = false;  ///< hit max_solutions before exhausting optima
 };
 

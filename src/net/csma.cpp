@@ -5,8 +5,9 @@
 namespace hi::net {
 
 CsmaMac::CsmaMac(des::Kernel& kernel, Radio& radio, int buffer_packets,
-                 const CsmaParams& params, Rng rng)
-    : Mac(kernel, radio, buffer_packets), params_(params), rng_(rng) {
+                 const CsmaParams& params, Rng rng,
+                 const obs::RunTrace* trace)
+    : Mac(kernel, radio, buffer_packets, trace), params_(params), rng_(rng) {
   HI_REQUIRE(params_.turnaround_s >= 0.0, "turnaround must be >= 0");
   HI_REQUIRE(params_.backoff_max_s > 0.0, "backoff window must be positive");
   radio_.on_tx_done = [this] {
@@ -37,6 +38,11 @@ void CsmaMac::try_send() {
         params_.access_mode == model::CsmaAccessMode::kNonPersistent
             ? rng_.uniform(0.0, params_.backoff_max_s)
             : params_.persistent_poll_s;
+    if (trace_ != nullptr) {
+      trace_->record(obs::TraceEvent{
+          kernel_.now(), obs::TraceKind::kBackoff, radio_.location(), -1,
+          static_cast<std::int64_t>(stats_.backoffs), wait});
+    }
     kernel_.schedule_in(wait, [this] { try_send(); });
     return;
   }

@@ -30,7 +30,8 @@ struct CsmaParams {
 class CsmaMac final : public Mac {
  public:
   CsmaMac(des::Kernel& kernel, Radio& radio, int buffer_packets,
-          const CsmaParams& params, Rng rng);
+          const CsmaParams& params, Rng rng,
+          const obs::RunTrace* trace = nullptr);
 
  private:
   void on_queue_not_empty() override;

@@ -4,8 +4,10 @@
 
 namespace hi::net {
 
-Mac::Mac(des::Kernel& kernel, Radio& radio, int buffer_packets)
-    : kernel_(kernel), radio_(radio), buffer_packets_(buffer_packets) {
+Mac::Mac(des::Kernel& kernel, Radio& radio, int buffer_packets,
+         const obs::RunTrace* trace)
+    : kernel_(kernel), radio_(radio), buffer_packets_(buffer_packets),
+      trace_(trace) {
   HI_REQUIRE(buffer_packets_ > 0, "MAC buffer must hold at least one packet");
   radio_.on_receive = [this](const Packet& p) {
     if (on_receive) {
@@ -18,6 +20,11 @@ void Mac::enqueue(const Packet& p) {
   ++stats_.enqueued;
   if (queue_.size() >= static_cast<std::size_t>(buffer_packets_)) {
     ++stats_.dropped_buffer;
+    if (trace_ != nullptr) {
+      trace_->record(obs::TraceEvent{kernel_.now(),
+                                     obs::TraceKind::kDropBuffer,
+                                     radio_.location(), p.origin, p.seq});
+    }
     return;
   }
   queue_.push_back(p);

@@ -14,6 +14,7 @@
 #include "des/kernel.hpp"
 #include "net/packet.hpp"
 #include "net/radio.hpp"
+#include "obs/trace.hpp"
 
 namespace hi::net {
 
@@ -30,7 +31,11 @@ struct MacStats {
 /// the radio straight to `on_receive` (set by the routing layer).
 class Mac {
  public:
-  Mac(des::Kernel& kernel, Radio& radio, int buffer_packets);
+  /// `trace`, when non-null, receives a `drop_buffer` TraceEvent per
+  /// buffer overflow; concrete MACs add their own kinds (CSMA:
+  /// `backoff`).  Null = no tracing, zero cost.
+  Mac(des::Kernel& kernel, Radio& radio, int buffer_packets,
+      const obs::RunTrace* trace = nullptr);
   virtual ~Mac() = default;
 
   Mac(const Mac&) = delete;
@@ -56,6 +61,7 @@ class Mac {
   des::Kernel& kernel_;
   Radio& radio_;
   int buffer_packets_;
+  const obs::RunTrace* trace_;
   std::deque<Packet> queue_;
   MacStats stats_;
 };

@@ -7,8 +7,9 @@
 
 namespace hi::net {
 
-Medium::Medium(des::Kernel& kernel, channel::ChannelModel& channel)
-    : kernel_(kernel), channel_(channel) {}
+Medium::Medium(des::Kernel& kernel, channel::ChannelModel& channel,
+               const obs::RunTrace* trace)
+    : kernel_(kernel), channel_(channel), trace_(trace) {}
 
 void Medium::attach(Radio* radio) {
   HI_REQUIRE(radio != nullptr, "attach: null radio");
@@ -25,6 +26,11 @@ void Medium::begin_transmission(const Radio& tx, const Packet& p,
   const std::uint64_t tx_id = next_tx_id_++;
   ++stats_.transmissions;
   const double now = kernel_.now();
+  if (trace_ != nullptr) {
+    trace_->record(obs::TraceEvent{now, obs::TraceKind::kTx, tx.location(),
+                                   p.origin, p.seq,
+                                   static_cast<double>(p.bytes), duration_s});
+  }
   for (Radio* rx : radios_) {
     if (rx->location() == tx.location()) {
       continue;

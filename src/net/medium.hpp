@@ -16,6 +16,7 @@
 #include "channel/channel.hpp"
 #include "des/kernel.hpp"
 #include "net/packet.hpp"
+#include "obs/trace.hpp"
 
 namespace hi::net {
 
@@ -31,7 +32,10 @@ struct MediumStats {
 /// See file comment.  One Medium per simulation run.
 class Medium {
  public:
-  Medium(des::Kernel& kernel, channel::ChannelModel& channel);
+  /// `trace`, when non-null, receives a `tx` TraceEvent per physical
+  /// transmission (obs::RunTrace; null = no tracing, zero cost).
+  Medium(des::Kernel& kernel, channel::ChannelModel& channel,
+         const obs::RunTrace* trace = nullptr);
 
   Medium(const Medium&) = delete;
   Medium& operator=(const Medium&) = delete;
@@ -49,6 +53,7 @@ class Medium {
  private:
   des::Kernel& kernel_;
   channel::ChannelModel& channel_;
+  const obs::RunTrace* trace_;
   std::vector<Radio*> radios_;
   std::uint64_t next_tx_id_ = 1;
   MediumStats stats_;

@@ -19,20 +19,21 @@ struct NodeBundle {
              const model::NetworkConfig& cfg, const SimParams& params,
              int slot_index, int num_slots, std::vector<int> peers, Rng rng)
       : location(loc),
-        radio(kernel, medium, loc, make_radio_params(cfg, params)) {
+        radio(kernel, medium, loc, make_radio_params(cfg, params),
+              params.trace) {
     medium.attach(&radio);
     if (cfg.mac.protocol == model::MacProtocol::kCsma) {
       CsmaParams cs = params.csma;
       cs.access_mode = cfg.mac.access_mode;
       mac = std::make_unique<CsmaMac>(kernel, radio, cfg.mac.buffer_packets,
-                                      cs, rng.fork("csma"));
+                                      cs, rng.fork("csma"), params.trace);
     } else {
       TdmaParams td;
       td.slot_s = cfg.mac.slot_s;
       td.slot_index = slot_index;
       td.num_slots = num_slots;
       mac = std::make_unique<TdmaMac>(kernel, radio, cfg.mac.buffer_packets,
-                                      td);
+                                      td, params.trace);
     }
     if (cfg.routing.protocol == model::RoutingProtocol::kStar) {
       routing = std::make_unique<StarRouting>(*mac, loc,
@@ -82,7 +83,7 @@ SimResult simulate(const model::NetworkConfig& cfg,
   }
 
   des::Kernel kernel;
-  Medium medium(kernel, channel);
+  Medium medium(kernel, channel, params.trace);
   Rng root(params.seed);
 
   std::vector<std::unique_ptr<NodeBundle>> nodes;
@@ -138,6 +139,20 @@ SimResult simulate(const model::NetworkConfig& cfg,
     }
     nr.pdr = terms > 0 ? acc / terms : 0.0;
     pdr_nodes.add(nr.pdr);
+    if (params.trace != nullptr) {
+      // End-of-run per-node summaries: radio state dwell (derived from
+      // the metered energy, which charges packet transactions only) and
+      // the energy split itself.
+      params.trace->record(obs::TraceEvent{
+          params.duration_s, obs::TraceKind::kRadioDwell, nb->location, -1,
+          static_cast<std::int64_t>(nr.radio.tx_packets),
+          nb->radio.tx_energy_mj() / nb->radio.params().tx_mw,
+          nb->radio.rx_energy_mj() / nb->radio.params().rx_mw});
+      params.trace->record(obs::TraceEvent{
+          params.duration_s, obs::TraceKind::kNodeEnergy, nb->location, -1,
+          static_cast<std::int64_t>(nr.app_sent), nb->radio.tx_energy_mj(),
+          nb->radio.rx_energy_mj()});
+    }
     res.nodes.push_back(nr);
   }
   res.pdr = pdr_nodes.mean();  // Eq. (7)
@@ -157,6 +172,56 @@ SimResult simulate(const model::NetworkConfig& cfg,
   res.worst_power_mw = worst;
   res.mean_power_mw = powers.mean();
   res.nlt_s = worst > 0.0 ? cfg.battery_j / mw_to_w(worst) : 0.0;
+
+  if (params.trace != nullptr) {
+    params.trace->record(obs::TraceEvent{
+        params.duration_s, obs::TraceKind::kKernel, -1, -1,
+        static_cast<std::int64_t>(kernel.events_processed()),
+        static_cast<double>(kernel.events_cancelled()),
+        static_cast<double>(kernel.heap_highwater())});
+  }
+  if (params.metrics != nullptr) {
+    // One atomic flush per run keeps the event loop itself free of
+    // registry traffic; the per-layer stats structs already hold the
+    // counts.  Order-independent sums, so parallel runs recording into a
+    // shared registry reach the same totals as serial ones.
+    obs::MetricsRegistry& m = *params.metrics;
+    m.counter("net.runs").add(1);
+    m.counter("des.events").add(kernel.events_processed());
+    m.counter("des.cancelled").add(kernel.events_cancelled());
+    m.gauge("des.heap_highwater")
+        .update_max(static_cast<double>(kernel.heap_highwater()));
+    m.counter("net.medium.transmissions").add(res.medium.transmissions);
+    m.counter("net.medium.deliveries_offered")
+        .add(res.medium.deliveries_offered);
+    m.counter("net.medium.below_sensitivity")
+        .add(res.medium.below_sensitivity);
+    std::uint64_t tx = 0, rx_ok = 0, rx_corrupted = 0, rx_missed = 0,
+                  rx_aborted = 0, enq = 0, sent = 0, drop = 0, backoffs = 0,
+                  app_sent = 0;
+    for (const NodeResult& nr : res.nodes) {
+      tx += nr.radio.tx_packets;
+      rx_ok += nr.radio.rx_ok;
+      rx_corrupted += nr.radio.rx_corrupted;
+      rx_missed += nr.radio.rx_missed;
+      rx_aborted += nr.radio.rx_aborted;
+      enq += nr.mac.enqueued;
+      sent += nr.mac.sent;
+      drop += nr.mac.dropped_buffer;
+      backoffs += nr.mac.backoffs;
+      app_sent += nr.app_sent;
+    }
+    m.counter("net.radio.tx_packets").add(tx);
+    m.counter("net.radio.rx_ok").add(rx_ok);
+    m.counter("net.radio.rx_corrupted").add(rx_corrupted);
+    m.counter("net.radio.rx_missed").add(rx_missed);
+    m.counter("net.radio.rx_aborted").add(rx_aborted);
+    m.counter("net.mac.enqueued").add(enq);
+    m.counter("net.mac.sent").add(sent);
+    m.counter("net.mac.dropped_buffer").add(drop);
+    m.counter("net.mac.backoffs").add(backoffs);
+    m.counter("net.app.sent").add(app_sent);
+  }
   return res;
 }
 

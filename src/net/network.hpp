@@ -17,6 +17,8 @@
 #include "net/csma.hpp"
 #include "net/medium.hpp"
 #include "net/routing.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace hi::net {
 
@@ -35,6 +37,15 @@ struct SimParams {
   std::uint64_t channel_seed = 0;
   double capture_db = 10.0;   ///< radio capture threshold
   CsmaParams csma{};          ///< CSMA timing (access mode comes from cfg)
+  /// Observability (both null by default — the fast path; see DESIGN.md
+  /// §8).  `metrics` aggregates the run's per-layer counters (des.*,
+  /// net.*) at end of run; atomic, so concurrent hi::exec workers may
+  /// share one registry.  `trace` streams per-event records
+  /// (packet tx/rx/drop, backoffs, per-node dwell/energy) as they
+  /// happen; point it at a RunTrace wrapping a JSON-lines/CSV/memory
+  /// sink to watch a single run.
+  obs::MetricsRegistry* metrics = nullptr;
+  const obs::RunTrace* trace = nullptr;
 };
 
 /// Per-node outcome of a run.

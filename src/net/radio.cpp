@@ -6,8 +6,9 @@
 namespace hi::net {
 
 Radio::Radio(des::Kernel& kernel, Medium& medium, int location,
-             const RadioParams& params)
-    : kernel_(kernel), medium_(medium), location_(location), params_(params) {
+             const RadioParams& params, const obs::RunTrace* trace)
+    : kernel_(kernel), medium_(medium), location_(location), params_(params),
+      trace_(trace) {
   HI_REQUIRE(params_.bit_rate_bps > 0.0, "bit rate must be positive");
   HI_REQUIRE(params_.tx_mw > 0.0 && params_.rx_mw > 0.0,
              "radio power draws must be positive");
@@ -89,8 +90,20 @@ void Radio::signal_end(std::uint64_t tx_id) {
     rx_energy_mj_ += (kernel_.now() - decode_start_) * params_.rx_mw;
     if (current_corrupted_) {
       ++stats_.rx_corrupted;
+      if (trace_ != nullptr) {
+        trace_->record(obs::TraceEvent{kernel_.now(),
+                                       obs::TraceKind::kRxCollision,
+                                       location_, sig.packet.origin,
+                                       sig.packet.seq});
+      }
     } else {
       ++stats_.rx_ok;
+      if (trace_ != nullptr) {
+        trace_->record(obs::TraceEvent{kernel_.now(), obs::TraceKind::kRxOk,
+                                       location_, sig.packet.origin,
+                                       sig.packet.seq,
+                                       static_cast<double>(sig.packet.hops)});
+      }
       if (on_receive) {
         on_receive(sig.packet);
       }

@@ -17,6 +17,7 @@
 
 #include "des/kernel.hpp"
 #include "net/packet.hpp"
+#include "obs/trace.hpp"
 
 namespace hi::net {
 
@@ -45,8 +46,10 @@ class Medium;
 /// shared Medium by the Network builder.
 class Radio {
  public:
+  /// `trace`, when non-null, receives `rx_ok` / `rx_collision`
+  /// TraceEvents per decode outcome (null = no tracing, zero cost).
   Radio(des::Kernel& kernel, Medium& medium, int location,
-        const RadioParams& params);
+        const RadioParams& params, const obs::RunTrace* trace = nullptr);
 
   Radio(const Radio&) = delete;
   Radio& operator=(const Radio&) = delete;
@@ -98,6 +101,7 @@ class Radio {
   Medium& medium_;
   int location_;
   RadioParams params_;
+  const obs::RunTrace* trace_;
 
   bool transmitting_ = false;
   std::unordered_map<std::uint64_t, Signal> audible_;

@@ -7,8 +7,8 @@
 namespace hi::net {
 
 TdmaMac::TdmaMac(des::Kernel& kernel, Radio& radio, int buffer_packets,
-                 const TdmaParams& params)
-    : Mac(kernel, radio, buffer_packets), params_(params) {
+                 const TdmaParams& params, const obs::RunTrace* trace)
+    : Mac(kernel, radio, buffer_packets, trace), params_(params) {
   HI_REQUIRE(params_.slot_s > 0.0, "slot duration must be positive");
   HI_REQUIRE(params_.num_slots > 0, "frame needs at least one slot");
   HI_REQUIRE(params_.slot_index >= 0 && params_.slot_index < params_.num_slots,

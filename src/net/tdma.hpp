@@ -24,7 +24,7 @@ struct TdmaParams {
 class TdmaMac final : public Mac {
  public:
   TdmaMac(des::Kernel& kernel, Radio& radio, int buffer_packets,
-          const TdmaParams& params);
+          const TdmaParams& params, const obs::RunTrace* trace = nullptr);
 
  private:
   void on_queue_not_empty() override;

@@ -1,0 +1,120 @@
+// hi-opt: observability — the metrics registry.
+//
+// One MetricsRegistry is the instrumentation plane for a whole
+// experiment: every subsystem (DES kernel, net stack, MILP solver,
+// evaluator, hi::exec batch engine, explorers) records into named
+// instruments and a Snapshot collects them at any point.  Three
+// instrument kinds:
+//
+//   Counter   — monotone uint64 (events, packets, simulations);
+//   Gauge     — last-written double with an update_max() high-water
+//               variant (heap depth, queue length);
+//   Histogram — streaming count/sum/min/max plus power-of-two buckets
+//               (latencies, batch sizes); approximate quantiles only.
+//
+// Contract (see DESIGN.md §8):
+//   * Instruments are created on first use and live as long as the
+//     registry; returned references stay valid forever (node-based map).
+//   * All record paths are lock-free atomics — hi::exec workers may
+//     record concurrently; creation/lookup takes a mutex, so callers on
+//     hot paths should look an instrument up once and keep the pointer.
+//   * A null registry pointer is the universal "not observed" state:
+//     every instrumented subsystem accepts nullptr and then skips
+//     recording entirely (a single branch on the hot path).
+//   * Counters are exact under concurrency (atomic adds commute), which
+//     is what lets the paper's headline simulation counts be asserted
+//     bit-for-bit at any thread count.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "obs/snapshot.hpp"
+
+namespace hi::obs {
+
+/// Monotone event counter.  All members are safe to call concurrently.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  [[nodiscard]] std::uint64_t value() const {
+    return v_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Last-value / high-water instrument.  Safe to call concurrently.
+class Gauge {
+ public:
+  void set(double v) { v_.store(v, std::memory_order_relaxed); }
+  void add(double d) {
+    double cur = v_.load(std::memory_order_relaxed);
+    while (!v_.compare_exchange_weak(cur, cur + d,
+                                     std::memory_order_relaxed)) {
+    }
+  }
+  /// Raises the gauge to `v` if it is below (high-water semantics).
+  void update_max(double v) {
+    double cur = v_.load(std::memory_order_relaxed);
+    while (cur < v &&
+           !v_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  [[nodiscard]] double value() const {
+    return v_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Streaming histogram: count/sum/min/max plus kHistogramBuckets
+/// power-of-two buckets (bucket i covers [2^(i-20), 2^(i-19)) — from
+/// ~1 µs to ~2000 s when observing seconds).  Safe to call concurrently;
+/// the aggregate fields are each atomic, so a concurrent snapshot may be
+/// torn *across* fields (count vs sum) but never within one.
+class Histogram {
+ public:
+  void observe(double v);
+  [[nodiscard]] HistogramSummary summary() const;
+
+  /// Bucket index for a value; exposed for tests.
+  [[nodiscard]] static int bucket_of(double v);
+
+ private:
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_{0.0};
+  std::atomic<double> max_{0.0};
+  std::atomic<bool> any_{false};
+  std::array<std::atomic<std::uint64_t>, kHistogramBuckets> buckets_{};
+};
+
+/// See file comment.
+class MetricsRegistry {
+ public:
+  /// Finds or creates the named instrument.  References stay valid for
+  /// the registry's lifetime (std::map nodes never move).
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  /// Consistent-enough point-in-time copy of every instrument.  Counters
+  /// are exact once all recording threads have quiesced.
+  [[nodiscard]] Snapshot snapshot() const;
+
+ private:
+  mutable std::mutex mu_;  ///< guards map structure only, not the atomics
+  std::map<std::string, Counter, std::less<>> counters_;
+  std::map<std::string, Gauge, std::less<>> gauges_;
+  std::map<std::string, Histogram, std::less<>> histograms_;
+};
+
+}  // namespace hi::obs

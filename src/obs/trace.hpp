@@ -1,0 +1,129 @@
+// hi-opt: observability — structured run tracing.
+//
+// A RunTrace streams simulation-time-stamped records out of one DES run:
+// packet transmissions/receptions/drops, MAC backoffs, per-node radio
+// dwell and energy, and a kernel summary.  Events are a fixed flat
+// record (no allocation on the hot path); the kind decides how the
+// generic fields are read:
+//
+//   kind          node        peer           a            x           y
+//   ------------- ----------- -------------- ------------ ----------- -----------
+//   tx            sender loc  packet origin  app seq      bytes       airtime s
+//   rx_ok         receiver    packet origin  app seq      rx hops     -
+//   rx_collision  receiver    packet origin  app seq      -           -
+//   drop_buffer   dropper     packet origin  app seq      -           -
+//   backoff       node        -              backoff #    wait s      -
+//   radio_dwell   node        -              tx packets   tx time s   rx time s
+//   node_energy   node        -              app sent     tx mJ       rx mJ
+//   kernel        -           -              events run   cancelled   heap hwm
+//
+// Sinks are pluggable (JSON-lines, CSV, in-memory for tests) and
+// internally synchronized, so a shared sink survives hi::exec workers
+// tracing concurrently — though traced runs are typically serial.  With
+// no sink attached (the default everywhere), recording is a single
+// branch on a null pointer: the zero-cost contract bench_des_perf
+// guards.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <vector>
+
+namespace hi::obs {
+
+/// What a TraceEvent describes; see the field table above.
+enum class TraceKind : std::uint8_t {
+  kTx,
+  kRxOk,
+  kRxCollision,
+  kDropBuffer,
+  kBackoff,
+  kRadioDwell,
+  kNodeEnergy,
+  kKernel,
+};
+
+[[nodiscard]] const char* to_string(TraceKind kind);
+
+/// One flat trace record; field meaning depends on `kind` (table above).
+struct TraceEvent {
+  double t_s = 0.0;       ///< simulation time of the event
+  TraceKind kind = TraceKind::kTx;
+  int node = -1;          ///< location id, -1 when not node-scoped
+  int peer = -1;          ///< counterpart location id, -1 when none
+  std::int64_t a = 0;     ///< kind-specific integer
+  double x = 0.0;         ///< kind-specific
+  double y = 0.0;         ///< kind-specific
+};
+
+/// Receives every recorded event.  Implementations must tolerate
+/// concurrent on_event() calls (take a lock or be lock-free).
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void on_event(const TraceEvent& e) = 0;
+};
+
+/// JSON-lines sink: one {"t":..,"kind":"tx",...} object per line.
+class JsonlTraceSink final : public TraceSink {
+ public:
+  /// The stream must outlive the sink; the sink serializes writers.
+  explicit JsonlTraceSink(std::ostream& os) : os_(os) {}
+  void on_event(const TraceEvent& e) override;
+
+ private:
+  std::mutex mu_;
+  std::ostream& os_;
+};
+
+/// CSV sink: header `t,kind,node,peer,a,x,y`, then one row per event.
+class CsvTraceSink final : public TraceSink {
+ public:
+  explicit CsvTraceSink(std::ostream& os) : os_(os) {}
+  void on_event(const TraceEvent& e) override;
+
+ private:
+  std::mutex mu_;
+  std::ostream& os_;
+  bool header_written_ = false;
+};
+
+/// In-memory sink for tests.
+class MemoryTraceSink final : public TraceSink {
+ public:
+  void on_event(const TraceEvent& e) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    events_.push_back(e);
+  }
+  /// Copy of everything recorded so far.
+  [[nodiscard]] std::vector<TraceEvent> events() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return events_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> events_;
+};
+
+/// The handle instrumented code holds.  Layers keep a `const RunTrace*`
+/// that is null by default; `record()` on a RunTrace with no sink is a
+/// no-op, so both the pointer and the sink can be absent for free.
+class RunTrace {
+ public:
+  RunTrace() = default;
+  explicit RunTrace(TraceSink* sink) : sink_(sink) {}
+
+  [[nodiscard]] bool enabled() const { return sink_ != nullptr; }
+  void record(const TraceEvent& e) const {
+    if (sink_ != nullptr) {
+      sink_->on_event(e);
+    }
+  }
+
+ private:
+  TraceSink* sink_ = nullptr;
+};
+
+}  // namespace hi::obs

@@ -1,11 +1,10 @@
-// Tests for Algorithm 1 (dse/algorithm1.hpp): optimality against
-// exhaustive search (the paper's correctness claim), termination, and
-// efficiency (fewer simulations than exhaustive).
-#include "dse/algorithm1.hpp"
+// Tests for Algorithm 1 (dse/algorithm1.hpp, unified entry point in
+// dse/explorer.hpp): optimality against exhaustive search (the paper's
+// correctness claim), termination, and efficiency (fewer simulations
+// than exhaustive).
+#include "dse/explorer.hpp"
 
 #include <gtest/gtest.h>
-
-#include "dse/exhaustive.hpp"
 
 namespace hi::dse {
 namespace {
@@ -29,7 +28,7 @@ model::Scenario small_scenario() {
 
 TEST(Algorithm1, FindsFeasibleAtLowBound) {
   Evaluator ev(fast_settings());
-  Algorithm1Options opt;
+  ExplorationOptions opt;
   opt.pdr_min = 0.30;
   const ExplorationResult res = run_algorithm1(small_scenario(), ev, opt);
   ASSERT_TRUE(res.feasible);
@@ -43,7 +42,7 @@ TEST(Algorithm1, InfeasibleWhenBoundUnreachable) {
   // Nothing delivers 100.0% of packets over a faded body channel in a
   // 4-node star/mesh at these powers (short runs make losses certain).
   Evaluator ev(fast_settings());
-  Algorithm1Options opt;
+  ExplorationOptions opt;
   opt.pdr_min = 1.0;
   model::Scenario sc = small_scenario();
   const ExplorationResult res = run_algorithm1(sc, ev, opt);
@@ -58,20 +57,20 @@ TEST(Algorithm1, InfeasibleWhenBoundUnreachable) {
 
 TEST(Algorithm1, StopsWithinIterationBudget) {
   Evaluator ev(fast_settings());
-  Algorithm1Options opt;
+  ExplorationOptions opt;
   opt.pdr_min = 0.7;
-  opt.max_iterations = 2;  // artificially tight
+  opt.budget = 2;  // artificially tight
   const ExplorationResult res = run_algorithm1(small_scenario(), ev, opt);
   EXPECT_LE(res.iterations, 2);
 }
 
 TEST(Algorithm1, AlphaTerminationPreservesOptimality) {
   Evaluator ev(fast_settings());
-  Algorithm1Options with_alpha;
+  ExplorationOptions with_alpha;
   with_alpha.pdr_min = 0.6;
   const ExplorationResult a =
       run_algorithm1(small_scenario(), ev, with_alpha);
-  Algorithm1Options no_alpha = with_alpha;
+  ExplorationOptions no_alpha = with_alpha;
   no_alpha.use_alpha_termination = false;
   const ExplorationResult b = run_algorithm1(small_scenario(), ev, no_alpha);
   ASSERT_EQ(a.feasible, b.feasible);
@@ -84,7 +83,7 @@ TEST(Algorithm1, AlphaTerminationPreservesOptimality) {
 
 TEST(Algorithm1, HistoryRecordsMatchEvaluator) {
   Evaluator ev(fast_settings());
-  Algorithm1Options opt;
+  ExplorationOptions opt;
   opt.pdr_min = 0.5;
   const ExplorationResult res = run_algorithm1(small_scenario(), ev, opt);
   for (const CandidateRecord& rec : res.history) {
@@ -93,6 +92,27 @@ TEST(Algorithm1, HistoryRecordsMatchEvaluator) {
     EXPECT_DOUBLE_EQ(rec.sim_power_mw, e.power_mw);
     EXPECT_GT(rec.analytic_power_mw, 0.0);
   }
+}
+
+TEST(Algorithm1, ProgressCallbackSeesMonotoneSimulations) {
+  Evaluator ev(fast_settings());
+  ExplorationOptions opt;
+  opt.pdr_min = 0.5;
+  std::vector<ProgressInfo> beats;
+  opt.progress = [&](const ProgressInfo& info) { beats.push_back(info); };
+  const ExplorationResult res = run_algorithm1(small_scenario(), ev, opt);
+  ASSERT_FALSE(beats.empty());
+  std::uint64_t prev = 0;
+  int prev_iter = 0;
+  for (const ProgressInfo& info : beats) {
+    EXPECT_EQ(info.kind, ExplorerKind::kAlgorithm1);
+    EXPECT_GE(info.simulations, prev);
+    EXPECT_GT(info.iteration, prev_iter);
+    prev = info.simulations;
+    prev_iter = info.iteration;
+  }
+  EXPECT_EQ(beats.back().simulations, res.simulations);
+  EXPECT_EQ(beats.back().feasible, res.feasible);
 }
 
 // ---- The headline property: Algorithm 1 == exhaustive, with fewer sims.
@@ -109,12 +129,12 @@ TEST_P(Algorithm1VsExhaustive, SameOptimumFewerSimulations) {
   const model::Scenario sc = small_scenario();
   Evaluator ev(fast_settings(c.seed));
 
-  Algorithm1Options opt;
+  ExplorationOptions opt;
   opt.pdr_min = c.pdr_min;
   const ExplorationResult alg = run_algorithm1(sc, ev, opt);
 
   Evaluator ev2(fast_settings(c.seed));  // fresh cache: fair sim count
-  const ExplorationResult exh = run_exhaustive(sc, ev2, c.pdr_min);
+  const ExplorationResult exh = run_exhaustive(sc, ev2, opt);
 
   ASSERT_EQ(alg.feasible, exh.feasible)
       << "pdr_min=" << c.pdr_min << " seed=" << c.seed;
@@ -140,11 +160,11 @@ TEST(Algorithm1, MediumScenarioMatchesExhaustive) {
   model::Scenario sc;
   sc.max_nodes = 5;
   Evaluator ev(fast_settings(4));
-  Algorithm1Options opt;
+  ExplorationOptions opt;
   opt.pdr_min = 0.9;
   const ExplorationResult alg = run_algorithm1(sc, ev, opt);
   Evaluator ev2(fast_settings(4));
-  const ExplorationResult exh = run_exhaustive(sc, ev2, opt.pdr_min);
+  const ExplorationResult exh = run_exhaustive(sc, ev2, opt);
   ASSERT_EQ(alg.feasible, exh.feasible);
   if (exh.feasible) {
     EXPECT_DOUBLE_EQ(alg.best_power_mw, exh.best_power_mw);

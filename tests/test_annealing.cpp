@@ -1,12 +1,12 @@
-// Tests for the simulated-annealing baseline (dse/annealing.hpp).
-#include "dse/annealing.hpp"
+// Tests for the simulated-annealing baseline (dse/annealing.hpp, unified
+// entry point in dse/explorer.hpp).
+#include "dse/explorer.hpp"
 
 #include <gtest/gtest.h>
 
 #include <limits>
 
 #include "common/assert.hpp"
-#include "dse/exhaustive.hpp"
 
 namespace hi::dse {
 namespace {
@@ -27,9 +27,9 @@ model::Scenario small_scenario() {
 
 TEST(Annealing, FindsAFeasibleSolution) {
   Evaluator ev(fast_settings());
-  AnnealingOptions opt;
+  ExplorationOptions opt;
   opt.pdr_min = 0.5;
-  opt.steps = 150;
+  opt.budget = 150;
   const ExplorationResult res = run_annealing(small_scenario(), ev, opt);
   ASSERT_TRUE(res.feasible);
   EXPECT_GE(res.best_pdr, 0.5);
@@ -39,9 +39,9 @@ TEST(Annealing, FindsAFeasibleSolution) {
 
 TEST(Annealing, EveryVisitedStateSatisfiesConstraints) {
   Evaluator ev(fast_settings());
-  AnnealingOptions opt;
+  ExplorationOptions opt;
   opt.pdr_min = 0.7;
-  opt.steps = 120;
+  opt.budget = 120;
   const model::Scenario sc = small_scenario();
   const ExplorationResult res = run_annealing(sc, ev, opt);
   for (const CandidateRecord& rec : res.history) {
@@ -56,9 +56,9 @@ TEST(Annealing, EveryVisitedStateSatisfiesConstraints) {
 TEST(Annealing, DeterministicBySeed) {
   Evaluator ev1(fast_settings());
   Evaluator ev2(fast_settings());
-  AnnealingOptions opt;
+  ExplorationOptions opt;
   opt.pdr_min = 0.5;
-  opt.steps = 80;
+  opt.budget = 80;
   opt.seed = 99;
   const ExplorationResult a = run_annealing(small_scenario(), ev1, opt);
   const ExplorationResult b = run_annealing(small_scenario(), ev2, opt);
@@ -74,13 +74,15 @@ TEST(Annealing, ConvergesNearExhaustiveOptimumWithEnoughSteps) {
   // optimum power (the exact optimum is often a single lucky topology).
   const model::Scenario sc = small_scenario();
   Evaluator ev(fast_settings(7));
-  const ExplorationResult exh = run_exhaustive(sc, ev, 0.7);
+  ExplorationOptions exh_opt;
+  exh_opt.pdr_min = 0.7;
+  const ExplorationResult exh = run_exhaustive(sc, ev, exh_opt);
   ASSERT_TRUE(exh.feasible);
   double best = std::numeric_limits<double>::infinity();
   for (std::uint64_t seed : {3u, 4u, 5u}) {
-    AnnealingOptions opt;
+    ExplorationOptions opt;
     opt.pdr_min = 0.7;
-    opt.steps = 400;
+    opt.budget = 400;
     opt.seed = seed;
     const ExplorationResult sa = run_annealing(sc, ev, opt);
     if (sa.feasible) {
@@ -94,24 +96,27 @@ TEST(Annealing, ConvergesNearExhaustiveOptimumWithEnoughSteps) {
 TEST(Annealing, CachedRevisitsDoNotInflateSimCount) {
   const model::Scenario sc = small_scenario();
   Evaluator ev(fast_settings());
-  AnnealingOptions opt;
+  ExplorationOptions opt;
   opt.pdr_min = 0.5;
-  opt.steps = 300;
+  opt.budget = 300;
   const ExplorationResult res = run_annealing(sc, ev, opt);
   // The small scenario has only 96 design points; revisits hit the cache.
   EXPECT_LE(res.simulations, 96u);
   EXPECT_GT(ev.cache_hits(), 0u);
+  // The run snapshot mirrors both evaluator counters exactly.
+  EXPECT_EQ(res.metrics.counter("dse.simulations"), res.simulations);
+  EXPECT_GT(res.metrics.counter("dse.cache_hits"), 0u);
 }
 
 TEST(Annealing, RejectsBadOptions) {
   Evaluator ev(fast_settings());
-  AnnealingOptions opt;
+  ExplorationOptions opt;
   opt.pdr_min = 1.5;
   EXPECT_THROW((void)run_annealing(small_scenario(), ev, opt), ModelError);
   opt.pdr_min = 0.5;
-  opt.steps = 0;
+  opt.budget = 0;
   EXPECT_THROW((void)run_annealing(small_scenario(), ev, opt), ModelError);
-  opt.steps = 10;
+  opt.budget = 10;
   opt.t_start_mw = 0.1;
   opt.t_end_mw = 0.5;  // end above start
   EXPECT_THROW((void)run_annealing(small_scenario(), ev, opt), ModelError);

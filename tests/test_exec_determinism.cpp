@@ -9,8 +9,7 @@
 
 #include <vector>
 
-#include "dse/algorithm1.hpp"
-#include "dse/exhaustive.hpp"
+#include "dse/explorer.hpp"
 
 namespace hi::dse {
 namespace {
@@ -52,6 +51,12 @@ void expect_identical(const RunFingerprint& serial, const RunFingerprint& par,
   EXPECT_EQ(a.simulations, b.simulations);
   EXPECT_EQ(serial.simulations, par.simulations);
   EXPECT_EQ(serial.cache_hits, par.cache_hits);
+  // The run snapshots mirror the evaluator counters exactly — the
+  // atomic metric sums are thread-count-invariant too.
+  EXPECT_EQ(a.metrics.counter("dse.simulations"), a.simulations);
+  EXPECT_EQ(b.metrics.counter("dse.simulations"), b.simulations);
+  EXPECT_EQ(a.metrics.counter("dse.cache_hits"),
+            b.metrics.counter("dse.cache_hits"));
   ASSERT_EQ(a.history.size(), b.history.size());
   for (std::size_t i = 0; i < a.history.size(); ++i) {
     EXPECT_EQ(a.history[i].cfg.design_key(), b.history[i].cfg.design_key());
@@ -64,7 +69,9 @@ void expect_identical(const RunFingerprint& serial, const RunFingerprint& par,
 RunFingerprint exhaustive_at(int threads) {
   Evaluator eval(fast_settings(threads));
   RunFingerprint fp;
-  fp.result = run_exhaustive(small_scenario(), eval, /*pdr_min=*/0.9);
+  ExplorationOptions opt;
+  opt.pdr_min = 0.9;
+  fp.result = run_exhaustive(small_scenario(), eval, opt);
   fp.simulations = eval.simulations();
   fp.cache_hits = eval.cache_hits();
   return fp;
@@ -72,7 +79,7 @@ RunFingerprint exhaustive_at(int threads) {
 
 RunFingerprint algorithm1_at(int threads) {
   Evaluator eval(fast_settings(/*threads=*/0));
-  Algorithm1Options opt;
+  ExplorationOptions opt;
   opt.pdr_min = 0.9;
   opt.threads = threads;  // explicit knob overrides the settings
   RunFingerprint fp;
@@ -105,7 +112,7 @@ TEST(ExecDeterminism, Algorithm1InheritsEvaluatorThreads) {
   // still identical to the fully serial run.
   const RunFingerprint serial = algorithm1_at(0);
   Evaluator eval(fast_settings(/*threads=*/4));
-  Algorithm1Options opt;
+  ExplorationOptions opt;
   opt.pdr_min = 0.9;
   ASSERT_EQ(opt.threads, -1);
   RunFingerprint inherited;

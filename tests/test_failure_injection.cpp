@@ -5,9 +5,7 @@
 
 #include "channel/channel.hpp"
 #include "common/assert.hpp"
-#include "dse/algorithm1.hpp"
-#include "dse/annealing.hpp"
-#include "dse/exhaustive.hpp"
+#include "dse/explorer.hpp"
 #include "net/network.hpp"
 
 namespace hi {
@@ -115,13 +113,13 @@ TEST(FailureInjection, ExplorerReportsInfeasibleOnDeadChannel) {
   dse::Evaluator eval(es);
   model::Scenario sc;
   sc.max_nodes = 4;
-  dse::Algorithm1Options opt;
+  dse::ExplorationOptions opt;
   opt.pdr_min = 0.5;
   const dse::ExplorationResult res = dse::run_algorithm1(sc, eval, opt);
   EXPECT_FALSE(res.feasible);
   // It must have drained every power level before giving up.
   EXPECT_EQ(res.simulations, 96u);
-  const dse::ExplorationResult exh = dse::run_exhaustive(sc, eval, 0.5);
+  const dse::ExplorationResult exh = dse::run_exhaustive(sc, eval, opt);
   EXPECT_FALSE(exh.feasible);
 }
 
@@ -137,9 +135,9 @@ TEST(FailureInjection, AnnealerSurvivesFullyInfeasibleSpace) {
   dse::Evaluator eval(es);
   model::Scenario sc;
   sc.max_nodes = 4;
-  dse::AnnealingOptions opt;
+  dse::ExplorationOptions opt;
   opt.pdr_min = 0.5;
-  opt.steps = 50;
+  opt.budget = 50;
   const dse::ExplorationResult res = dse::run_annealing(sc, eval, opt);
   EXPECT_FALSE(res.feasible);
   EXPECT_EQ(res.iterations, 50);
@@ -156,7 +154,7 @@ TEST(FailureInjection, ImpossibleTopologyRequirementsAreInfeasible) {
   es.sim.duration_s = 5.0;
   es.runs = 1;
   dse::Evaluator eval(es);
-  dse::Algorithm1Options opt;
+  dse::ExplorationOptions opt;
   opt.pdr_min = 0.1;
   const dse::ExplorationResult res = dse::run_algorithm1(sc, eval, opt);
   EXPECT_FALSE(res.feasible);

@@ -4,8 +4,8 @@
 // analytic models.
 #include <gtest/gtest.h>
 
-#include "dse/algorithm1.hpp"
 #include "dse/evaluator.hpp"
+#include "dse/explorer.hpp"
 #include "model/power.hpp"
 
 namespace hi::dse {
@@ -129,7 +129,7 @@ TEST_F(DseIntegration, AnalyticLevelsAscendThroughAlgorithmIterations) {
   // recorded history must honour that.
   model::Scenario sc;
   sc.max_nodes = 5;
-  Algorithm1Options opt;
+  ExplorationOptions opt;
   opt.pdr_min = 0.95;
   const ExplorationResult res = run_algorithm1(sc, eval(), opt);
   double prev = 0.0;
@@ -139,18 +139,33 @@ TEST_F(DseIntegration, AnalyticLevelsAscendThroughAlgorithmIterations) {
   }
 }
 
+TEST_F(DseIntegration, SnapshotSimulationCountMatchesLegacyField) {
+  // The observability contract at integration scale: the run snapshot's
+  // dse.simulations counter equals the legacy scalar field exactly, even
+  // on a warm shared evaluator where most evaluations are cache hits.
+  model::Scenario sc;
+  sc.max_nodes = 5;
+  ExplorationOptions opt;
+  opt.pdr_min = 0.95;
+  const ExplorationResult res = run_algorithm1(sc, eval(), opt);
+  EXPECT_EQ(res.metrics.counter("dse.simulations"), res.simulations);
+  EXPECT_EQ(res.metrics.counter("milp.bnb_nodes"), res.milp_bnb_nodes);
+  EXPECT_GT(res.milp_bnb_nodes, 0u);
+  EXPECT_FALSE(res.metrics.empty());
+}
+
 TEST_F(DseIntegration, DefaultScenarioLadderIsTheExpectedShape) {
   // The headline qualitative reproduction, end to end at test scale:
   // low bound -> star at low Tx power; high bound -> mesh TDMA.
   model::Scenario sc;
-  Algorithm1Options low;
+  ExplorationOptions low;
   low.pdr_min = 0.55;
   const ExplorationResult lo = run_algorithm1(sc, eval(), low);
   ASSERT_TRUE(lo.feasible);
   EXPECT_EQ(lo.best.routing.protocol, model::RoutingProtocol::kStar);
   EXPECT_LT(lo.best.radio.tx_dbm, 0.0);
 
-  Algorithm1Options high;
+  ExplorationOptions high;
   high.pdr_min = 0.99;
   const ExplorationResult hi_res = run_algorithm1(sc, eval(), high);
   ASSERT_TRUE(hi_res.feasible);

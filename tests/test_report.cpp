@@ -5,7 +5,7 @@
 
 #include <sstream>
 
-#include "dse/exhaustive.hpp"
+#include "dse/explorer.hpp"
 
 namespace hi::dse {
 namespace {
@@ -18,7 +18,9 @@ ExplorationResult tiny_result() {
   Evaluator ev(s);
   model::Scenario sc;
   sc.max_nodes = 4;
-  return run_exhaustive(sc, ev, 0.0);
+  ExplorationOptions opt;
+  opt.pdr_min = 0.0;
+  return run_exhaustive(sc, ev, opt);
 }
 
 TEST(Report, CsvHasHeaderAndOneRowPerCandidate) {
