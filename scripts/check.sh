@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Runs the tier-1 test suite under AddressSanitizer and ThreadSanitizer
+# in sequence — the pre-merge confidence sweep for the concurrency and
+# memory-safety guarantees the code comments promise.
+#
+#   scripts/check.sh [extra ctest args...]
+#
+# Build trees live in build-address/ and build-thread/ next to build/
+# (all three are gitignored); each is configured on first use and
+# reused afterwards.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+run_suite() {
+  local sanitizer="$1"
+  shift
+  local dir="build-${sanitizer}"
+  echo "==> ${sanitizer}: configure + build (${dir})"
+  cmake -B "${dir}" -S . -DHI_SANITIZE="${sanitizer}" \
+        -DHI_BUILD_BENCH=OFF -DHI_BUILD_EXAMPLES=OFF
+  cmake --build "${dir}" -j "$(nproc)"
+  echo "==> ${sanitizer}: ctest -L tier1"
+  ctest --test-dir "${dir}" -L tier1 --output-on-failure -j "$(nproc)" "$@"
+}
+
+run_suite address "$@"
+run_suite thread "$@"
+echo "==> all sanitizer suites passed"

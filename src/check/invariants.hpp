@@ -1,0 +1,67 @@
+// hi-opt: simulator invariant auditing through the hi::obs plane.
+//
+// audited_simulate() runs the *real* net::simulate with a
+// MemoryTraceSink and a MetricsRegistry attached — the same hooks every
+// production run can use — and then cross-examines the three views of
+// the run (SimResult, metric counters, trace stream) against each other
+// and against conservation laws.  There is no parallel "checked
+// simulator": a violation means the shipping code path broke.
+//
+// Invariant inventory (see DESIGN.md §9 for the contract):
+//   conservation   every MAC send is a radio transmission is a medium
+//                  transmission (three equal counters); each transmission
+//                  is offered to, or below sensitivity of, every other
+//                  node; decode outcomes never exceed offers; packets
+//                  handed to the app never exceed packets originated;
+//                  sends + drops never exceed enqueues.
+//   reliability    per-node and network PDR lie in [0, 1]; the network
+//                  PDR is the mean of the per-node PDRs.
+//   energy/power   per-node tx/rx energies are nonnegative (energy is a
+//                  monotone sum of nonnegative airtime charges; the trace
+//                  exposes the per-transmission airtimes, all positive);
+//                  node power equals baseline + energy / duration; the
+//                  worst lifetime-relevant power and the Eq. (4) lifetime
+//                  are recomputed and must match.
+//   DES ordering   trace timestamps are nondecreasing and within
+//                  [0, duration]; the kernel summary (events, cancels,
+//                  heap high-water) agrees with the des.* metrics.
+//   trace/counter  per-kind trace event counts equal the corresponding
+//                  net.* counters (tx, rx_ok, buffer drops, backoffs),
+//                  and the per-node summary records appear exactly once.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "model/config.hpp"
+#include "net/network.hpp"
+#include "obs/snapshot.hpp"
+#include "obs/trace.hpp"
+
+namespace hi::check {
+
+/// One simulation run plus everything the auditor looked at.
+struct AuditedRun {
+  net::SimResult result;
+  obs::Snapshot metrics;               ///< the run's counter snapshot
+  std::vector<obs::TraceEvent> trace;  ///< full event stream
+  std::vector<std::string> violations; ///< empty = all invariants hold
+};
+
+/// Runs one net::simulate of `cfg` with tracing + metrics attached and
+/// audits it.  `params.metrics` / `params.trace` are overridden; the
+/// channel comes from `make_channel(params.channel_seed or params.seed)`
+/// like a simulate_averaged replication would.
+[[nodiscard]] AuditedRun audited_simulate(
+    const model::NetworkConfig& cfg, net::SimParams params,
+    const net::ChannelFactory& make_channel = net::default_channel_factory());
+
+/// The audit itself, exposed so tests can feed tampered inputs and prove
+/// the auditor catches what it claims to catch.  Expects the views of a
+/// *single* run (metrics must be the run's own snapshot).
+[[nodiscard]] std::vector<std::string> audit_run(
+    const model::NetworkConfig& cfg, const net::SimParams& params,
+    const net::SimResult& res, const obs::Snapshot& metrics,
+    const std::vector<obs::TraceEvent>& trace);
+
+}  // namespace hi::check

@@ -1,0 +1,187 @@
+#include "check/milp_oracle.hpp"
+
+#include <cmath>
+#include <cstddef>
+#include <utility>
+
+namespace hi::check {
+
+namespace {
+
+/// Exact row view shared by both the pure-integer check and the
+/// mixed-model reduction.
+struct ExactRow {
+  std::vector<Rational> a;  ///< dense over all model variables
+  Rational b;
+  lp::Sense sense = lp::Sense::kLessEqual;
+};
+
+bool sense_holds(const Rational& lhs, lp::Sense sense, const Rational& rhs) {
+  switch (sense) {
+    case lp::Sense::kLessEqual:
+      return lhs <= rhs;
+    case lp::Sense::kEqual:
+      return lhs == rhs;
+    case lp::Sense::kGreaterEqual:
+      return lhs >= rhs;
+  }
+  return false;
+}
+
+}  // namespace
+
+MilpOracleResult solve_milp_exact(const milp::Model& m,
+                                  std::uint64_t max_boxes) {
+  const lp::Problem& p = m.lp();
+  const int nv = p.num_variables();
+  const std::vector<int> ints = m.integral_variables();
+  std::vector<bool> is_int(static_cast<std::size_t>(nv), false);
+  for (int v : ints) is_int[static_cast<std::size_t>(v)] = true;
+  std::vector<int> conts;
+  for (int v = 0; v < nv; ++v) {
+    if (!is_int[static_cast<std::size_t>(v)]) conts.push_back(v);
+  }
+
+  // Integer ranges; the box size gates the whole enumeration.
+  std::vector<std::int64_t> lo(ints.size());
+  std::vector<std::int64_t> hi(ints.size());
+  std::uint64_t boxes = 1;
+  for (std::size_t k = 0; k < ints.size(); ++k) {
+    const lp::Variable& v = p.variable(ints[k]);
+    HI_REQUIRE(std::isfinite(v.lower) && std::isfinite(v.upper),
+               "milp oracle: integral variable " << ints[k]
+                                                 << " is unbounded");
+    lo[k] = static_cast<std::int64_t>(std::ceil(v.lower - 1e-9));
+    hi[k] = static_cast<std::int64_t>(std::floor(v.upper + 1e-9));
+    if (lo[k] > hi[k]) {
+      return MilpOracleResult{};  // empty box: trivially infeasible
+    }
+    const std::uint64_t width = static_cast<std::uint64_t>(hi[k] - lo[k]) + 1;
+    HI_REQUIRE(boxes <= max_boxes / width,
+               "milp oracle: integer box exceeds " << max_boxes
+                                                   << " assignments");
+    boxes *= width;
+  }
+
+  // Exact rows and costs over the full variable set.
+  std::vector<ExactRow> rows(static_cast<std::size_t>(p.num_constraints()));
+  for (int r = 0; r < p.num_constraints(); ++r) {
+    const lp::Constraint& c = p.constraint(r);
+    ExactRow& row = rows[static_cast<std::size_t>(r)];
+    row.a.assign(static_cast<std::size_t>(nv), Rational{});
+    for (const lp::Term& t : c.terms) {
+      row.a[static_cast<std::size_t>(t.var)] += Rational::from_double(t.coeff);
+    }
+    row.b = Rational::from_double(c.rhs);
+    row.sense = c.sense;
+  }
+  std::vector<Rational> cost(static_cast<std::size_t>(nv));
+  for (int v = 0; v < nv; ++v) {
+    cost[static_cast<std::size_t>(v)] =
+        Rational::from_double(p.variable(v).cost);
+  }
+  const bool maximize = p.objective() == lp::Objective::kMaximize;
+
+  MilpOracleResult result;
+  bool any = false;
+  std::vector<std::int64_t> assign(ints.size());
+  for (std::size_t k = 0; k < ints.size(); ++k) assign[k] = lo[k];
+
+  const auto consider = [&]() {
+    ++result.boxes_checked;
+    // Integer-part contributions.
+    Rational obj_int;
+    for (std::size_t k = 0; k < ints.size(); ++k) {
+      obj_int += cost[static_cast<std::size_t>(ints[k])] *
+                 Rational{assign[k]};
+    }
+    Rational obj;
+    if (conts.empty()) {
+      for (const ExactRow& row : rows) {
+        Rational lhs;
+        for (std::size_t k = 0; k < ints.size(); ++k) {
+          lhs += row.a[static_cast<std::size_t>(ints[k])] * Rational{assign[k]};
+        }
+        if (!sense_holds(lhs, row.sense, row.b)) {
+          return;
+        }
+      }
+      obj = obj_int;
+    } else {
+      // Reduce to an LP over the continuous variables: substitute the
+      // integer assignment into every row's rhs and re-solve exactly.
+      lp::Problem sub;
+      for (int v : conts) {
+        const lp::Variable& var = p.variable(v);
+        sub.add_variable(var.lower, var.upper, var.cost);
+      }
+      sub.set_objective(p.objective());
+      std::vector<int> cont_index(static_cast<std::size_t>(nv), -1);
+      for (std::size_t c = 0; c < conts.size(); ++c) {
+        cont_index[static_cast<std::size_t>(conts[c])] = static_cast<int>(c);
+      }
+      for (int r = 0; r < p.num_constraints(); ++r) {
+        const lp::Constraint& c = p.constraint(r);
+        Rational fixed;
+        std::vector<lp::Term> terms;
+        for (const lp::Term& t : c.terms) {
+          if (is_int[static_cast<std::size_t>(t.var)]) {
+            // The assignment values and the double coefficients are both
+            // exact; accumulate the fixed part rationally and push it to
+            // the rhs.  rhs' = rhs - fixed must stay a representable
+            // double for the sub-problem — guaranteed for the small
+            // integer instances inside the oracle scope.
+            std::size_t k = 0;
+            while (ints[k] != t.var) ++k;
+            fixed += Rational::from_double(t.coeff) * Rational{assign[k]};
+          } else {
+            terms.push_back(
+                lp::Term{cont_index[static_cast<std::size_t>(t.var)], t.coeff});
+          }
+        }
+        const Rational rhs = Rational::from_double(c.rhs) - fixed;
+        sub.add_constraint(std::move(terms), c.sense, rhs.to_double());
+      }
+      const LpOracleResult sub_result = solve_lp_exact(sub);
+      if (sub_result.status != OracleStatus::kOptimal) {
+        return;
+      }
+      obj = obj_int + sub_result.objective;
+    }
+    if (!any || (maximize ? obj > result.objective : obj < result.objective)) {
+      any = true;
+      result.objective = obj;
+      result.optimal_assignments.clear();
+      result.optimal_assignments.push_back(assign);
+    } else if (obj == result.objective) {
+      result.optimal_assignments.push_back(assign);
+    }
+  };
+
+  if (ints.empty()) {
+    consider();
+  } else {
+    for (;;) {
+      consider();
+      // Odometer step.
+      std::size_t k = 0;
+      while (k < ints.size()) {
+        if (assign[k] < hi[k]) {
+          ++assign[k];
+          break;
+        }
+        assign[k] = lo[k];
+        ++k;
+      }
+      if (k == ints.size()) break;
+    }
+  }
+
+  result.status = any ? OracleStatus::kOptimal : OracleStatus::kInfeasible;
+  if (!any) {
+    result.optimal_assignments.clear();
+  }
+  return result;
+}
+
+}  // namespace hi::check

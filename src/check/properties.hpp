@@ -1,0 +1,117 @@
+// hi-opt: the property library — differential and metamorphic checks.
+//
+// Every check returns a list of human-readable violations (empty = the
+// property held), so gtest suites can assert emptiness and the fuzzer
+// can aggregate them into a seed report.  Three families:
+//
+//   differential   the floating-point solvers against the exact rational
+//                  oracles: simplex vs vertex enumeration, branch-and-
+//                  bound vs integer-box enumeration, and the no-good-cut
+//                  solution pool vs the oracle's complete optimum set.
+//   metamorphic    known relations between whole DSE runs: Algorithm 1
+//                  must land on the exhaustive optimum; raising PDRmin
+//                  can never lower the optimal power; a power cut / a
+//                  no-good cut can never improve the objective; thread
+//                  count must not change any result bit.
+//   invariant      audited_simulate (check/invariants.hpp) over sampled
+//                  feasible configurations of a scenario.
+//
+// The random instance generators quantize every coefficient to 1/16
+// steps, so Rational::from_double is exact and the oracles' 128-bit
+// limbs never overflow on in-scope instances.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "check/scenario_gen.hpp"
+#include "common/rng.hpp"
+#include "dse/evaluator.hpp"
+#include "lp/problem.hpp"
+#include "milp/model.hpp"
+#include "obs/snapshot.hpp"
+
+namespace hi::check {
+
+// --- random instance generators (dyadic coefficients) ------------------
+
+/// A box-bounded LP with 2..max_vars variables and a few random rows
+/// (mixed senses).  May be infeasible — that is part of the test space.
+[[nodiscard]] lp::Problem random_bounded_lp(Rng& rng, int max_vars = 4);
+
+/// A small MILP mixing binaries, general integers, and bounded
+/// continuous variables.
+[[nodiscard]] milp::Model random_small_milp(Rng& rng);
+
+/// A pool-friendly MILP: binaries (plus optional continuous variables),
+/// no general integers, with coarsely quantized costs so ties — and
+/// hence multiple optima — are common.
+[[nodiscard]] milp::Model random_pool_milp(Rng& rng);
+
+// --- differential properties (exact oracles) ---------------------------
+
+/// solve_simplex(p) against the rational vertex oracle: same status,
+/// matching objective, and a feasible primal point.
+[[nodiscard]] std::vector<std::string> check_lp_against_oracle(
+    const lp::Problem& p);
+
+/// milp::solve(m) against the rational box oracle: same status, matching
+/// objective, and the solver's integral assignment is one of the
+/// oracle's optimal assignments.
+[[nodiscard]] std::vector<std::string> check_milp_against_oracle(
+    const milp::Model& m);
+
+/// milp::solve_all_optimal(m) against the oracle: the pool's set of
+/// binary optima must equal the enumerator's complete set exactly.
+[[nodiscard]] std::vector<std::string> check_pool_against_enumerator(
+    const milp::Model& m);
+
+// --- metamorphic DSE properties ----------------------------------------
+
+/// Algorithm 1 (sound bound) and exhaustive search agree on feasibility
+/// and on the optimal power, and Algorithm 1 never simulates more.
+/// Runs share `eval`'s cache; counters are reset between runs.
+[[nodiscard]] std::vector<std::string> check_alg1_matches_exhaustive(
+    const model::Scenario& sc, dse::Evaluator& eval, double pdr_min);
+
+/// Sweeping exhaustive search over ascending PDRmin targets: optimal
+/// power is nondecreasing and feasibility is monotone (once infeasible,
+/// stays infeasible).
+[[nodiscard]] std::vector<std::string> check_pdrmin_monotone(
+    const model::Scenario& sc, dse::Evaluator& eval,
+    const std::vector<double>& pdr_mins);
+
+/// MilpEncoding power cuts: each add_power_cut_above(optimum) round
+/// yields a strictly larger optimum (or infeasibility), and every
+/// optimum is one of achievable_power_levels().
+[[nodiscard]] std::vector<std::string> check_power_cuts_monotone(
+    const model::Scenario& sc);
+
+/// Generic no-good-cut monotonicity on a random MILP: cutting the
+/// incumbent binary assignment never improves the objective, and the
+/// next solution differs in the binaries.
+[[nodiscard]] std::vector<std::string> check_no_good_cut_monotone(
+    milp::Model m);
+
+/// Exhaustive search at `threads` workers vs serial: bit-identical
+/// ExplorationResult (best point, metrics, history) and equal counter
+/// snapshots (exec.* scheduling counters excluded — see DESIGN.md §8).
+[[nodiscard]] std::vector<std::string> check_thread_determinism(
+    const ScenarioSpec& spec, int threads);
+
+// --- simulator invariants ----------------------------------------------
+
+/// audited_simulate over up to `max_configs` sampled feasible
+/// configurations of the scenario; returns all violations found.
+[[nodiscard]] std::vector<std::string> check_sim_invariants(
+    const ScenarioSpec& spec, int max_configs = 3);
+
+// --- helpers ------------------------------------------------------------
+
+/// Compares the counters of two snapshots, skipping names that start
+/// with any of `ignore_prefixes`; returns one violation per mismatch.
+[[nodiscard]] std::vector<std::string> diff_counters(
+    const obs::Snapshot& a, const obs::Snapshot& b,
+    const std::vector<std::string>& ignore_prefixes);
+
+}  // namespace hi::check

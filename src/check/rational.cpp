@@ -1,0 +1,144 @@
+#include "check/rational.hpp"
+
+#include <cmath>
+#include <ostream>
+#include <sstream>
+
+namespace hi::check {
+
+namespace detail {
+
+void throw_overflow(const char* op) {
+  throw OverflowError(std::string("check::Rational: 128-bit overflow in '") +
+                      op + "'");
+}
+
+Limb gcd(Limb a, Limb b) {
+  if (a < 0) a = -a;  // |INT128_MIN| cannot appear: normalized values
+  if (b < 0) b = -b;  // entered through checked ops stay representable
+  while (b != 0) {
+    const Limb t = a % b;
+    a = b;
+    b = t;
+  }
+  return a;
+}
+
+}  // namespace detail
+
+using detail::checked_add;
+using detail::checked_mul;
+using detail::checked_sub;
+using detail::Limb;
+
+Rational::Rational(Limb n, Limb d, bool normalize) : num_(n), den_(d) {
+  HI_REQUIRE(den_ != 0, "check::Rational: zero denominator");
+  if (normalize) {
+    if (den_ < 0) {
+      num_ = checked_sub(0, num_);
+      den_ = checked_sub(0, den_);
+    }
+    if (num_ == 0) {
+      den_ = 1;
+    } else if (const Limb g = detail::gcd(num_, den_); g > 1) {
+      num_ /= g;
+      den_ /= g;
+    }
+  }
+}
+
+Rational::Rational(std::int64_t n, std::int64_t d)
+    : Rational(Limb{n}, Limb{d}, /*normalize=*/true) {}
+
+Rational Rational::from_double(double v) {
+  HI_REQUIRE(std::isfinite(v),
+             "check::Rational::from_double: non-finite value " << v);
+  if (v == 0.0) {
+    return Rational{};
+  }
+  int exp = 0;
+  const double m = std::frexp(v, &exp);  // v = m * 2^exp, 0.5 <= |m| < 1
+  auto num = static_cast<Limb>(std::llround(std::ldexp(m, 53)));
+  exp -= 53;  // v = num * 2^exp with |num| < 2^53
+  Limb den = 1;
+  if (exp >= 0) {
+    if (exp > 70) detail::throw_overflow("from_double shift");
+    for (int i = 0; i < exp; ++i) num = checked_mul(num, 2);
+  } else {
+    if (exp < -120) detail::throw_overflow("from_double shift");
+    den = Limb{1} << -exp;
+  }
+  return Rational(num, den, /*normalize=*/true);
+}
+
+double Rational::to_double() const {
+  return static_cast<double>(num_) / static_cast<double>(den_);
+}
+
+std::string Rational::to_string() const {
+  // __int128 has no operator<<; render via chunks of digits.
+  const auto render = [](Limb v) {
+    if (v == 0) return std::string("0");
+    const bool neg = v < 0;
+    __extension__ unsigned __int128 u =
+        neg ? static_cast<unsigned __int128>(-(v + 1)) + 1
+            : static_cast<unsigned __int128>(v);
+    std::string s;
+    while (u != 0) {
+      s.push_back(static_cast<char>('0' + static_cast<int>(u % 10)));
+      u /= 10;
+    }
+    if (neg) s.push_back('-');
+    return std::string(s.rbegin(), s.rend());
+  };
+  if (den_ == 1) {
+    return render(num_);
+  }
+  return render(num_) + "/" + render(den_);
+}
+
+Rational Rational::operator-() const {
+  return Rational(checked_sub(0, num_), den_, /*normalize=*/false);
+}
+
+Rational Rational::operator+(const Rational& o) const {
+  // a/b + c/d = (a*(d/g) + c*(b/g)) / (b*(d/g)) with g = gcd(b, d): the
+  // reduced-denominator form keeps intermediates as small as possible.
+  const Limb g = detail::gcd(den_, o.den_);
+  const Limb db = den_ / g;
+  const Limb dd = o.den_ / g;
+  const Limb n =
+      checked_add(checked_mul(num_, dd), checked_mul(o.num_, db));
+  return Rational(n, checked_mul(den_, dd), /*normalize=*/true);
+}
+
+Rational Rational::operator-(const Rational& o) const { return *this + (-o); }
+
+Rational Rational::operator*(const Rational& o) const {
+  // Cross-reduce before multiplying to delay overflow.
+  const Limb g1 = detail::gcd(num_, o.den_);
+  const Limb g2 = detail::gcd(o.num_, den_);
+  return Rational(checked_mul(num_ / g1, o.num_ / g2),
+                  checked_mul(den_ / g2, o.den_ / g1), /*normalize=*/false);
+}
+
+Rational Rational::operator/(const Rational& o) const {
+  HI_REQUIRE(o.num_ != 0, "check::Rational: division by zero");
+  return *this * Rational(o.den_, o.num_, /*normalize=*/true);
+}
+
+int Rational::compare(const Rational& o) const {
+  // Cheap path: different signs decide without multiplying.
+  const int sa = sign();
+  const int sb = o.sign();
+  if (sa != sb) return sa < sb ? -1 : 1;
+  const Limb lhs = checked_mul(num_, o.den_);
+  const Limb rhs = checked_mul(o.num_, den_);
+  return lhs < rhs ? -1 : lhs > rhs ? 1 : 0;
+}
+
+std::ostream& operator<<(std::ostream& os, const Rational& r) {
+  return os << r.to_string();
+}
+
+}  // namespace hi::check

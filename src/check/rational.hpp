@@ -1,0 +1,121 @@
+// hi-opt: exact rational arithmetic for the hi::check oracles.
+//
+// A Rational is a normalized fraction num/den with 128-bit limbs
+// (den > 0, gcd(num, den) = 1).  Every arithmetic step is
+// overflow-checked: the oracles differential-test the floating-point
+// solvers, so silently wrapping would defeat their whole purpose —
+// an instance too large for the limbs throws check::OverflowError
+// instead of producing a wrong "exact" answer.
+//
+// Doubles convert *exactly*: every finite double is the dyadic rational
+// mantissa * 2^exponent, so from_double() is lossless whenever the
+// result fits the limbs.  That is what lets the oracles consume the very
+// same lp::Problem / milp::Model the floating-point solvers see, with no
+// parallel "rational model" code path to drift out of sync.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "common/assert.hpp"
+
+namespace hi::check {
+
+/// Thrown when an exact computation exceeds the 128-bit limbs.  The
+/// oracles treat this as "instance out of scope", never as a verdict.
+class OverflowError : public Error {
+ public:
+  explicit OverflowError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+__extension__ using Limb = __int128;
+
+[[noreturn]] void throw_overflow(const char* op);
+
+inline Limb checked_add(Limb a, Limb b) {
+  Limb r;
+  if (__builtin_add_overflow(a, b, &r)) throw_overflow("+");
+  return r;
+}
+inline Limb checked_sub(Limb a, Limb b) {
+  Limb r;
+  if (__builtin_sub_overflow(a, b, &r)) throw_overflow("-");
+  return r;
+}
+inline Limb checked_mul(Limb a, Limb b) {
+  Limb r;
+  if (__builtin_mul_overflow(a, b, &r)) throw_overflow("*");
+  return r;
+}
+
+[[nodiscard]] Limb gcd(Limb a, Limb b);
+}  // namespace detail
+
+/// See file comment.
+class Rational {
+ public:
+  using Limb = detail::Limb;
+
+  constexpr Rational() = default;
+  Rational(std::int64_t n) : num_(n) {}  // NOLINT(google-explicit-constructor)
+  Rational(std::int64_t n, std::int64_t d);
+
+  /// Exact conversion of a finite double (throws hi::ModelError on
+  /// NaN/inf, check::OverflowError when the dyadic form needs > 127
+  /// bits — only possible for subnormals / huge magnitudes).
+  [[nodiscard]] static Rational from_double(double v);
+
+  [[nodiscard]] bool is_zero() const { return num_ == 0; }
+  [[nodiscard]] int sign() const { return num_ < 0 ? -1 : num_ > 0 ? 1 : 0; }
+
+  /// Nearest-double rendering (may round; exactness lives in the limbs).
+  [[nodiscard]] double to_double() const;
+
+  /// "num/den" (or just "num" when den == 1).
+  [[nodiscard]] std::string to_string() const;
+
+  [[nodiscard]] Rational operator-() const;
+  [[nodiscard]] Rational operator+(const Rational& o) const;
+  [[nodiscard]] Rational operator-(const Rational& o) const;
+  [[nodiscard]] Rational operator*(const Rational& o) const;
+  /// Throws hi::ModelError on division by zero.
+  [[nodiscard]] Rational operator/(const Rational& o) const;
+  Rational& operator+=(const Rational& o) { return *this = *this + o; }
+  Rational& operator-=(const Rational& o) { return *this = *this - o; }
+  Rational& operator*=(const Rational& o) { return *this = *this * o; }
+  Rational& operator/=(const Rational& o) { return *this = *this / o; }
+
+  friend bool operator==(const Rational& a, const Rational& b) {
+    // Normalized form makes equality structural.
+    return a.num_ == b.num_ && a.den_ == b.den_;
+  }
+  friend bool operator!=(const Rational& a, const Rational& b) {
+    return !(a == b);
+  }
+  friend bool operator<(const Rational& a, const Rational& b) {
+    return a.compare(b) < 0;
+  }
+  friend bool operator<=(const Rational& a, const Rational& b) {
+    return a.compare(b) <= 0;
+  }
+  friend bool operator>(const Rational& a, const Rational& b) {
+    return a.compare(b) > 0;
+  }
+  friend bool operator>=(const Rational& a, const Rational& b) {
+    return a.compare(b) >= 0;
+  }
+
+ private:
+  Rational(Limb n, Limb d, bool normalize);
+  /// -1 / 0 / +1 like a <=> b, exact.
+  [[nodiscard]] int compare(const Rational& o) const;
+
+  Limb num_ = 0;
+  Limb den_ = 1;
+};
+
+std::ostream& operator<<(std::ostream& os, const Rational& r);
+
+}  // namespace hi::check

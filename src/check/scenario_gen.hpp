@@ -1,0 +1,48 @@
+// hi-opt: seeded random-but-valid scenario generation for fuzzing.
+//
+// make_scenario(seed, shrink_level) deterministically samples a
+// model::Scenario (component library, placement constraints, application
+// profile) and matching dse::EvaluatorSettings from the design space the
+// paper draws from: random radio chips (2-3 Tx levels), random packet
+// sizes / rates / baselines, random coverage groups over disjoint body
+// locations, optional placement dependencies, and a node-count window.
+// Construction guarantees a nonempty feasible design space (the required
+// coordinator plus one member per coverage group always fits the window)
+// and caps the feasible-config count so a full exhaustive sweep stays
+// cheap enough to run hundreds of times in the fuzzer.
+//
+// Shrinking: the same seed at a higher shrink_level yields a strictly
+// smaller instance of the same scenario family (all random draws happen
+// first, the shrink transform clamps afterwards), so the fuzzer can
+// re-test a failing seed at increasing shrink levels and report the
+// smallest reproducer.  `fuzz_dse --seed S --shrink L --scenarios 1`
+// replays any reported instance exactly.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "dse/evaluator.hpp"
+#include "model/design_space.hpp"
+
+namespace hi::check {
+
+/// Deepest supported shrink level (0 = unshrunken).
+inline constexpr int kMaxShrink = 3;
+
+/// A generated instance: the scenario plus how to evaluate it.
+struct ScenarioSpec {
+  model::Scenario scenario;
+  dse::EvaluatorSettings settings;
+  std::uint64_t seed = 0;
+  int shrink_level = 0;
+  /// One-line description for failure reports.
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Deterministically samples the instance for (seed, shrink_level); see
+/// the file comment.  shrink_level outside [0, kMaxShrink] is clamped.
+[[nodiscard]] ScenarioSpec make_scenario(std::uint64_t seed,
+                                         int shrink_level = 0);
+
+}  // namespace hi::check

@@ -36,31 +36,32 @@ ExplorationResult run_algorithm1(const model::Scenario& scenario,
   // Expressed per cell of the (Tx level, routing, N) grid and made sound
   // for the whole remaining feasible set: stop when *every* cell the
   // MILP could still propose (analytic cost above the current level) has
-  // P̄lb above the incumbent's simulated power.  The floor P̄lb is
-  // routing-free (see model::power_lower_bound_mw) and deflated by the
-  // evaluator's generation guard, which trims measured powers by the
-  // same factor.
+  // its floor above the incumbent's simulated power.  The floor is
+  // model::measured_power_floor_mw — delivery accounting against the
+  // simulator's own energy metering, not the analytic P̄lb (the fuzzer
+  // found P̄lb overshooting measured powers when CSMA saturation drops
+  // packets before they are transmitted).
   struct CellBound {
     double cost_mw;   ///< analytic P̄ of the cell, Eq. (9)
-    double floor_mw;  ///< P̄lb of the cell at PDRmin
+    double floor_mw;  ///< measured-power floor of the cell at PDRmin
   };
   std::vector<CellBound> cell_bounds;
   {
     const net::SimParams& sp = eval.settings().sim;
-    const double guard_deflation =
-        (sp.duration_s - sp.gen_guard_s) / sp.duration_s;
     for (int lvl = 0; lvl < scenario.chip.num_tx_levels(); ++lvl) {
       for (const auto rt :
            {model::RoutingProtocol::kStar, model::RoutingProtocol::kMesh}) {
         for (int n = scenario.min_nodes; n <= scenario.max_nodes; ++n) {
           model::Topology t;
           for (int i = 0; i < n; ++i) t.set(i, true);
+          // Placement and MAC never enter the cost or the floor — any
+          // representative topology of the right size will do.
           const model::NetworkConfig cell = scenario.make_config(
               t, lvl, model::MacProtocol::kCsma, rt);
           cell_bounds.push_back(CellBound{
               model::node_power_mw(cell),
-              guard_deflation * model::power_lower_bound_mw(
-                                    cell, opt.pdr_min, opt.alpha_kappa)});
+              model::measured_power_floor_mw(cell, opt.pdr_min,
+                                             sp.duration_s, sp.gen_guard_s)});
         }
       }
     }

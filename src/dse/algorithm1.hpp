@@ -32,9 +32,9 @@ struct Algorithm1Options {
   bool use_alpha_termination = true;  ///< ablation switch (off = run the
                                       ///< MILP completely dry)
   TerminationBound bound = TerminationBound::kSoundFloor;
-  /// Loss-discount safety factor of the bound; smaller is more
-  /// conservative (more simulations, same optimum).  See
-  /// model::power_lower_bound_mw.
+  /// Loss-discount safety factor of the kPaperAlpha bound; smaller is
+  /// more conservative (more simulations).  See
+  /// model::power_lower_bound_mw.  kSoundFloor ignores it.
   double alpha_kappa = model::kLossDiscountKappa;
   milp::Options milp{};
   /// Worker threads for batch-evaluating each MILP level's

@@ -44,11 +44,12 @@ enum class ExplorerKind {
 /// Which early-termination bound Algorithm 1 uses (line 5 of the
 /// paper's listing).
 enum class TerminationBound {
-  /// Per-cell routing-free power floors (model::power_lower_bound_mw):
-  /// stop only when *every* configuration the MILP could still propose
-  /// provably consumes more than the incumbent, even under maximal
-  /// packet loss.  Guaranteed to return the exhaustive-search optimum
-  /// (cross-checked by the test sweeps).
+  /// Per-cell measured-power floors (model::measured_power_floor_mw,
+  /// delivery accounting against the simulator's energy metering): stop
+  /// only when *every* configuration the MILP could still propose
+  /// provably measures more than the incumbent.  Guaranteed to return
+  /// the exhaustive-search optimum (cross-checked by the test sweeps and
+  /// the hi::check fuzzer).
   kSoundFloor,
   /// The paper's literal rule: α = P̄(S*) / P̄lb(S*) with the uniform
   /// loss discount P̄lb = Pbl + PDRmin (P̄ - Pbl), applied to the
@@ -97,9 +98,9 @@ struct ExplorationOptions {
   bool use_alpha_termination = true;  ///< ablation switch (off = run the
                                       ///< MILP completely dry)
   TerminationBound bound = TerminationBound::kSoundFloor;
-  /// Loss-discount safety factor of the bound; smaller is more
-  /// conservative (more simulations, same optimum).  See
-  /// model::power_lower_bound_mw.
+  /// Loss-discount safety factor of the kPaperAlpha bound; smaller is
+  /// more conservative (more simulations).  See
+  /// model::power_lower_bound_mw.  kSoundFloor ignores it.
   double alpha_kappa = model::kLossDiscountKappa;
   /// Inner MILP solver knobs.  Options::metrics is overridden with the
   /// run's active registry so milp.* counters land in the snapshot.

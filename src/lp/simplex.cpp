@@ -72,14 +72,15 @@ struct Tableau {
 /// Dantzig's rule (steepest reduced cost) for speed and falls back to
 /// Bland's rule (smallest index) after a stall budget, which guarantees
 /// termination on degenerate problems.  `allow_col(j)` gates which
-/// columns may enter.  Returns status and the iteration count through
-/// `iters`.
+/// columns may enter.  Returns status and the iteration counts through
+/// `iters` / `bland_pivots`.
 template <typename AllowFn>
 Status run_phase(Tableau& t, const std::vector<double>& cost, double tol,
-                 int max_iters, int& iters, AllowFn allow_col) {
+                 int max_iters, int stall_budget, int& iters,
+                 int& bland_pivots, AllowFn allow_col) {
   const int m = t.m;
   const int n = t.n;
-  const int dantzig_budget = 20 * (m + n);
+  const int dantzig_budget = stall_budget > 0 ? stall_budget : 20 * (m + n);
   int phase_iters = 0;
   // y[j] of basic vars is b[row]; reduced cost d_j = c_j - z_j where
   // z_j = sum_r c_basis[r] * a[r][j].
@@ -100,7 +101,8 @@ Status run_phase(Tableau& t, const std::vector<double>& cost, double tol,
       }
     }
     int enter = -1;
-    if (phase_iters < dantzig_budget) {
+    const bool bland_mode = phase_iters >= dantzig_budget;
+    if (!bland_mode) {
       // Dantzig: most negative reduced cost.
       double best = -tol;
       for (int j = 0; j < n; ++j) {
@@ -144,6 +146,9 @@ Status run_phase(Tableau& t, const std::vector<double>& cost, double tol,
     }
     t.pivot(leave, enter);
     ++iters;
+    if (bland_mode) {
+      ++bland_pivots;
+    }
   }
 }
 
@@ -311,6 +316,7 @@ Solution solve_simplex(const Problem& p, const SimplexOptions& opt) {
       opt.max_iterations > 0 ? opt.max_iterations
                              : 200 + 50 * (t.m + n_used_cols);
   int iters = 0;
+  int bland_pivots = 0;
 
   // ---- Phase 1 (only when artificials exist). -----------------------------
   if (n_art > 0) {
@@ -319,11 +325,12 @@ Solution solve_simplex(const Problem& p, const SimplexOptions& opt) {
       phase1_cost[static_cast<std::size_t>(j)] = 1.0;
     }
     const Status st = run_phase(
-        t, phase1_cost, tol, max_iters, iters,
-        [&](int j) { return j < n_used_cols; });
+        t, phase1_cost, tol, max_iters, opt.dantzig_stall_budget, iters,
+        bland_pivots, [&](int j) { return j < n_used_cols; });
     if (st == Status::kIterationLimit) {
       sol.status = st;
       sol.iterations = iters;
+      sol.bland_pivots = bland_pivots;
       return sol;
     }
     // Phase-1 objective = sum of artificial values.
@@ -336,6 +343,7 @@ Solution solve_simplex(const Problem& p, const SimplexOptions& opt) {
     if (art_sum > opt.feas_tol) {
       sol.status = Status::kInfeasible;
       sol.iterations = iters;
+      sol.bland_pivots = bland_pivots;
       return sol;
     }
     // Drive remaining basic artificials (value ~ 0) out of the basis.
@@ -359,9 +367,10 @@ Solution solve_simplex(const Problem& p, const SimplexOptions& opt) {
   // ---- Phase 2. -----------------------------------------------------------
   {
     const Status st = run_phase(
-        t, t.c, tol, max_iters, iters,
-        [&](int j) { return j < t.first_artificial; });
+        t, t.c, tol, max_iters, opt.dantzig_stall_budget, iters,
+        bland_pivots, [&](int j) { return j < t.first_artificial; });
     sol.iterations = iters;
+    sol.bland_pivots = bland_pivots;
     if (st != Status::kOptimal) {
       sol.status = st;
       return sol;

@@ -34,6 +34,7 @@ struct Solution {
   double objective = 0.0;      ///< in the problem's own sense
   std::vector<double> x;       ///< primal point (original variable space)
   int iterations = 0;          ///< total simplex pivots (both phases)
+  int bland_pivots = 0;        ///< pivots taken under the Bland fallback
 };
 
 /// Solver knobs.
@@ -41,6 +42,10 @@ struct SimplexOptions {
   double tol = 1e-9;          ///< pivot / reduced-cost tolerance
   double feas_tol = 1e-7;     ///< phase-1 feasibility tolerance
   int max_iterations = 0;     ///< 0 => automatic (scales with problem size)
+  /// Dantzig pivots granted per phase before the anti-cycling Bland
+  /// fallback takes over; 0 => automatic (20 * (rows + columns)).
+  /// Tests set it to 1 to force the fallback on degenerate problems.
+  int dantzig_stall_budget = 0;
 };
 
 /// Solves `p` with the two-phase primal simplex method.

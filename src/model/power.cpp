@@ -64,6 +64,48 @@ double power_lower_bound_mw(const NetworkConfig& cfg, double pdr_min,
                  kappa * pdr_min * 2.0 * (n - 1) * cfg.radio.rx_mw);
 }
 
+double measured_power_floor_mw(const NetworkConfig& cfg, double pdr_min,
+                               double duration_s, double gen_guard_s) {
+  HI_REQUIRE(pdr_min >= 0.0 && pdr_min <= 1.0,
+             "pdr_min must be in [0,1], got " << pdr_min);
+  HI_REQUIRE(duration_s > gen_guard_s,
+             "duration " << duration_s << " s must exceed the guard "
+                         << gen_guard_s << " s");
+  const int n = cfg.topology.count();
+  const double airtime = packet_duration_s(cfg.radio, cfg.app);
+  const double window_s = duration_s - gen_guard_s;
+  // Worst-phase periodic generation over the guarded window, then the
+  // round-robin split across the N-1 peers (floor of the worst case).
+  const double sent_node_min =
+      std::max(0.0, window_s * cfg.app.throughput_pps - 1.0);
+  const double sent_pair_min =
+      std::floor(std::max(0.0, (sent_node_min - (n - 2)) / (n - 1)));
+  if (sent_pair_min <= 0.0) {
+    return cfg.app.baseline_mw;  // too short to force any traffic
+  }
+  // Every pair saw at least sent_pair_min originals, so a network PDR of
+  // pdr_min forces this many distinct deliveries in total ...
+  const double delivered_min = pdr_min * n * (n - 1) * sent_pair_min;
+  // ... each costing its origin one transmission and its destination one
+  // full-airtime decode.  Under star routing the coordinator's radio is
+  // excluded from the lifetime metric: subtract the deliveries it could
+  // have originated (<= its generation count) and those addressed to it
+  // (<= (N-1) worst-phase pair maxima).
+  const double sent_node_max = window_s * cfg.app.throughput_pps + 1.0;
+  double tx_packets = delivered_min;
+  double rx_packets = delivered_min;
+  double metered_nodes = n;
+  if (cfg.routing.protocol == RoutingProtocol::kStar) {
+    metered_nodes = n - 1;
+    tx_packets -= sent_node_max;
+    rx_packets -= sent_node_max + (n - 2);
+  }
+  const double energy_mj =
+      airtime * (std::max(0.0, tx_packets) * cfg.radio.tx_mw +
+                 std::max(0.0, rx_packets) * cfg.radio.rx_mw);
+  return cfg.app.baseline_mw + energy_mj / (metered_nodes * duration_s);
+}
+
 double alpha_factor(const NetworkConfig& cfg, double pdr_min, double kappa) {
   const double p = node_power_mw(cfg);
   const double lb = power_lower_bound_mw(cfg, pdr_min, kappa);

@@ -1,0 +1,55 @@
+// fuzz_dse — the seed-replay fuzzer (check/fuzz.hpp) as a standalone
+// binary.  Walks ScenarioGen seeds, runs the property battery on each,
+// shrinks failures, and prints a replay command per failure.  Exits
+// nonzero when any property failed, so ctest can gate on it (registered
+// under the `extended` label; see tests/CMakeLists.txt).
+//
+//   fuzz_dse [--seed S] [--scenarios N] [--shrink L] [--verbose]
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "check/fuzz.hpp"
+
+namespace {
+
+bool parse_u64(const char* s, std::uint64_t& out) {
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s, &end, 10);
+  if (end == s || *end != '\0') return false;
+  out = v;
+  return true;
+}
+
+int usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " [--seed S] [--scenarios N] [--shrink L] [--verbose]\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  hi::check::FuzzOptions opt;
+  opt.out = &std::cout;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    std::uint64_t value = 0;
+    if (arg == "--verbose") {
+      opt.verbose = true;
+    } else if (arg == "--seed" && i + 1 < argc && parse_u64(argv[++i], value)) {
+      opt.seed = value;
+    } else if (arg == "--scenarios" && i + 1 < argc &&
+               parse_u64(argv[++i], value)) {
+      opt.scenarios = static_cast<int>(value);
+    } else if (arg == "--shrink" && i + 1 < argc &&
+               parse_u64(argv[++i], value)) {
+      opt.shrink_level = static_cast<int>(value);
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  const hi::check::FuzzReport report = hi::check::run_fuzz(opt);
+  return report.ok() ? 0 : 1;
+}

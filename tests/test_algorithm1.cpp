@@ -169,7 +169,11 @@ TEST(Algorithm1, MediumScenarioMatchesExhaustive) {
   if (exh.feasible) {
     EXPECT_DOUBLE_EQ(alg.best_power_mw, exh.best_power_mw);
   }
-  EXPECT_LT(alg.simulations, exh.simulations);
+  // The sound floor guarantees "never more than exhaustive", not strict
+  // savings: on rx-heavy cells the provable per-delivery energy is too
+  // small to prune levels, and the loop runs the MILP dry.  (The fuzzer
+  // retired the old strictly-saving floor — it skipped true optima.)
+  EXPECT_LE(alg.simulations, exh.simulations);
 }
 
 }  // namespace

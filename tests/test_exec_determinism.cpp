@@ -9,6 +9,8 @@
 
 #include <vector>
 
+#include "check/properties.hpp"
+#include "check/scenario_gen.hpp"
 #include "dse/explorer.hpp"
 
 namespace hi::dse {
@@ -104,6 +106,23 @@ TEST(ExecDeterminism, Algorithm1IsThreadCountInvariant) {
   EXPECT_GT(serial.result.simulations, 0u);
   for (const int threads : {1, 2, 8}) {
     expect_identical(serial, algorithm1_at(threads), threads);
+  }
+}
+
+TEST(ExecDeterminism, GeneratedScenariosAreThreadCountInvariant) {
+  // ScenarioGen instances (random chips, coverage groups, placements)
+  // through the full hi::check determinism property: bit-identical
+  // ExplorationResult and equal counter snapshots at 1 and 4 workers
+  // (exec.* scheduling counters excluded by the property itself).
+  for (const std::uint64_t seed : {901ULL, 902ULL}) {
+    const check::ScenarioSpec spec = check::make_scenario(seed);
+    for (const int threads : {1, 4}) {
+      for (const std::string& v :
+           check::check_thread_determinism(spec, threads)) {
+        ADD_FAILURE() << spec.summary() << " at " << threads
+                      << " threads: " << v;
+      }
+    }
   }
 }
 

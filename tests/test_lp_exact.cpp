@@ -1,93 +1,46 @@
-// Exactness property for the simplex: on random 2-variable LPs the
-// optimum must equal the best vertex found by brute-force enumeration of
-// all constraint-pair intersections (which is exhaustive in 2-D).
+// Exactness properties for the simplex, differentially tested against
+// the hi::check rational vertex-enumeration oracle: on random bounded
+// LPs in up to 4 variables the solver must agree with the oracle on
+// status and objective (the oracle is exact — every vertex is solved in
+// rational arithmetic, so there is no reference-implementation noise).
+// Also pins the Bland anti-cycling fallback: with the Dantzig stall
+// budget forced to one pivot, a degenerate LP must still reach the exact
+// optimum, report its Bland pivots, and surface the work through the
+// milp.lp_pivots counter.
 #include <gtest/gtest.h>
 
 #include <cmath>
-#include <vector>
 
+#include "check/lp_oracle.hpp"
+#include "check/properties.hpp"
 #include "common/rng.hpp"
 #include "lp/simplex.hpp"
+#include "milp/solver.hpp"
+#include "obs/metrics.hpp"
 
 namespace hi::lp {
 namespace {
-
-struct Line {
-  // ax + by <= c
-  double a, b, c;
-};
 
 struct Case {
   std::uint64_t seed;
 };
 
-class TwoVarExact : public ::testing::TestWithParam<Case> {};
+class RandomLpExact : public ::testing::TestWithParam<Case> {};
 
-TEST_P(TwoVarExact, MatchesVertexEnumeration) {
+TEST_P(RandomLpExact, MatchesRationalOracle) {
   Rng rng(GetParam().seed);
-  const double cx = rng.uniform(-2.0, 2.0);
-  const double cy = rng.uniform(-2.0, 2.0);
-  const double ux = rng.uniform(1.0, 5.0);
-  const double uy = rng.uniform(1.0, 5.0);
-  const int m = 2 + static_cast<int>(rng.uniform_index(4));
-
-  // Box bounds become lines too, so the vertex enumeration is complete.
-  std::vector<Line> lines = {
-      {-1.0, 0.0, 0.0},  // x >= 0
-      {0.0, -1.0, 0.0},  // y >= 0
-      {1.0, 0.0, ux},    // x <= ux
-      {0.0, 1.0, uy},    // y <= uy
-  };
-  Problem p;
-  const int x = p.add_variable(0.0, ux, cx);
-  const int y = p.add_variable(0.0, uy, cy);
-  p.set_objective(Objective::kMaximize);
-  for (int r = 0; r < m; ++r) {
-    const Line l{rng.uniform(-1.0, 2.0), rng.uniform(-1.0, 2.0),
-                 rng.uniform(0.5, 6.0)};
-    lines.push_back(l);
-    p.add_constraint({{x, l.a}, {y, l.b}}, Sense::kLessEqual, l.c);
-  }
-
-  // Brute force: intersect every pair of lines, keep feasible vertices.
-  const auto feasible = [&](double vx, double vy) {
-    for (const Line& l : lines) {
-      if (l.a * vx + l.b * vy > l.c + 1e-7) return false;
-    }
-    return true;
-  };
-  bool any = false;
-  double best = 0.0;
-  for (std::size_t i = 0; i < lines.size(); ++i) {
-    for (std::size_t j = i + 1; j < lines.size(); ++j) {
-      const double det = lines[i].a * lines[j].b - lines[j].a * lines[i].b;
-      if (std::fabs(det) < 1e-9) continue;
-      const double vx =
-          (lines[i].c * lines[j].b - lines[j].c * lines[i].b) / det;
-      const double vy =
-          (lines[i].a * lines[j].c - lines[j].a * lines[i].c) / det;
-      if (!feasible(vx, vy)) continue;
-      const double obj = cx * vx + cy * vy;
-      if (!any || obj > best) {
-        any = true;
-        best = obj;
-      }
+  for (int i = 0; i < 8; ++i) {
+    const Problem p = check::random_bounded_lp(rng, /*max_vars=*/4);
+    const std::vector<std::string> violations =
+        check::check_lp_against_oracle(p);
+    for (const std::string& v : violations) {
+      ADD_FAILURE() << "seed " << GetParam().seed << " instance " << i << ": "
+                    << v;
     }
   }
-
-  const Solution s = solve_simplex(p);
-  if (!any) {
-    // The box corner (0,0) is always a candidate vertex, so a feasible
-    // LP always yields at least one vertex; no vertex means infeasible.
-    EXPECT_EQ(s.status, Status::kInfeasible);
-    return;
-  }
-  ASSERT_EQ(s.status, Status::kOptimal);
-  EXPECT_NEAR(s.objective, best, 1e-6) << "seed " << GetParam().seed;
-  EXPECT_TRUE(p.is_feasible(s.x, 1e-6));
 }
 
-INSTANTIATE_TEST_SUITE_P(Seeds, TwoVarExact,
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomLpExact,
                          ::testing::Values(Case{201}, Case{202}, Case{203},
                                            Case{204}, Case{205}, Case{206},
                                            Case{207}, Case{208}, Case{209},
@@ -95,6 +48,100 @@ INSTANTIATE_TEST_SUITE_P(Seeds, TwoVarExact,
                                            Case{213}, Case{214}, Case{215},
                                            Case{216}, Case{217}, Case{218},
                                            Case{219}, Case{220}));
+
+TEST(LpExact, KnownThreeVarOptimum) {
+  // max x + 2y + 3z  s.t.  x+y+z <= 2, y+z <= 1.5, bounds [0,1]^3.
+  // Optimum: z=1, y=0.5, x=0.5 -> 5/2 + 3 = 4.5.
+  Problem p;
+  const int x = p.add_variable(0.0, 1.0, 1.0);
+  const int y = p.add_variable(0.0, 1.0, 2.0);
+  const int z = p.add_variable(0.0, 1.0, 3.0);
+  p.set_objective(Objective::kMaximize);
+  p.add_constraint({{x, 1.0}, {y, 1.0}, {z, 1.0}}, Sense::kLessEqual, 2.0);
+  p.add_constraint({{y, 1.0}, {z, 1.0}}, Sense::kLessEqual, 1.5);
+
+  const check::LpOracleResult oracle = check::solve_lp_exact(p);
+  ASSERT_EQ(oracle.status, check::OracleStatus::kOptimal);
+  EXPECT_EQ(oracle.objective, check::Rational(9, 2));
+
+  const Solution s = solve_simplex(p);
+  ASSERT_EQ(s.status, Status::kOptimal);
+  EXPECT_NEAR(s.objective, 4.5, 1e-9);
+}
+
+/// A degenerate LP: the optimal vertex of the scaled assignment-style
+/// polytope has many more active constraints than dimensions (every row
+/// and every upper bound is tight at the optimum), so several bases
+/// describe the same point and a stalled Dantzig rule must hand over to
+/// Bland without cycling.
+Problem degenerate_lp() {
+  Problem p;
+  const int a = p.add_variable(0.0, 1.0, 1.0);
+  const int b = p.add_variable(0.0, 1.0, 1.0);
+  const int c = p.add_variable(0.0, 1.0, 1.0);
+  const int d = p.add_variable(0.0, 1.0, 1.0);
+  p.set_objective(Objective::kMaximize);
+  p.add_constraint({{a, 1.0}, {b, 1.0}}, Sense::kLessEqual, 2.0);
+  p.add_constraint({{c, 1.0}, {d, 1.0}}, Sense::kLessEqual, 2.0);
+  p.add_constraint({{a, 1.0}, {c, 1.0}}, Sense::kLessEqual, 2.0);
+  p.add_constraint({{b, 1.0}, {d, 1.0}}, Sense::kLessEqual, 2.0);
+  p.add_constraint({{a, 1.0}, {b, 1.0}, {c, 1.0}, {d, 1.0}},
+                   Sense::kLessEqual, 4.0);
+  return p;
+}
+
+TEST(LpExact, BlandFallbackReachesExactOptimum) {
+  const Problem p = degenerate_lp();
+  const check::LpOracleResult oracle = check::solve_lp_exact(p);
+  ASSERT_EQ(oracle.status, check::OracleStatus::kOptimal);
+  EXPECT_EQ(oracle.objective, check::Rational(4));
+
+  // Default budget: Dantzig alone finishes, no fallback pivots.
+  const Solution dantzig = solve_simplex(p);
+  ASSERT_EQ(dantzig.status, Status::kOptimal);
+  EXPECT_EQ(dantzig.bland_pivots, 0);
+  EXPECT_NEAR(dantzig.objective, 4.0, 1e-9);
+
+  // One-pivot budget: the rest of the path runs under Bland's rule and
+  // must reach the same exact optimum (anti-cycling at work).
+  SimplexOptions opt;
+  opt.dantzig_stall_budget = 1;
+  const Solution bland = solve_simplex(p, opt);
+  ASSERT_EQ(bland.status, Status::kOptimal);
+  EXPECT_GT(bland.bland_pivots, 0);
+  EXPECT_LE(bland.bland_pivots, bland.iterations);
+  EXPECT_NEAR(bland.objective, 4.0, 1e-9);
+}
+
+TEST(LpExact, BlandPivotsSurfaceInMilpCounter) {
+  // The same degenerate LP wrapped as a continuous-only MILP: the
+  // milp.lp_pivots counter must record exactly the simplex pivots of the
+  // single (root) solve, Bland pivots included.
+  milp::Model m;
+  const Problem p = degenerate_lp();
+  for (int v = 0; v < p.num_variables(); ++v) {
+    const Variable& var = p.variable(v);
+    m.add_continuous(var.lower, var.upper, var.cost);
+  }
+  m.set_objective(p.objective());
+  for (int r = 0; r < p.num_constraints(); ++r) {
+    const Constraint& row = p.constraint(r);
+    m.add_constraint(row.terms, row.sense, row.rhs);
+  }
+
+  obs::MetricsRegistry registry;
+  milp::Options opt;
+  opt.metrics = &registry;
+  opt.lp.dantzig_stall_budget = 1;
+  const milp::Solution sol = milp::solve(m, opt);
+  ASSERT_EQ(sol.status, Status::kOptimal);
+  EXPECT_NEAR(sol.objective, 4.0, 1e-9);
+  const obs::Snapshot snap = registry.snapshot();
+  EXPECT_EQ(snap.counter("milp.solves"), 1u);
+  EXPECT_EQ(snap.counter("milp.lp_pivots"),
+            static_cast<std::uint64_t>(sol.lp_iterations));
+  EXPECT_GT(sol.lp_iterations, 0);
+}
 
 }  // namespace
 }  // namespace hi::lp

@@ -177,6 +177,40 @@ TEST(Power, PowerLowerBoundBelowAnalytic) {
   }
 }
 
+TEST(Power, MeasuredPowerFloorProperties) {
+  Scenario sc;
+  for (const auto rt : {RoutingProtocol::kStar, RoutingProtocol::kMesh}) {
+    const auto cfg = sc.make_config(Topology::from_locations({0, 2, 4, 6}),
+                                    1, MacProtocol::kCsma, rt);
+    // Monotone in the reliability bound, bracketed by the baseline and
+    // the zero-loss analytic power.
+    double prev = cfg.app.baseline_mw;
+    for (double pdr : {0.0, 0.5, 0.9, 1.0}) {
+      const double floor = measured_power_floor_mw(cfg, pdr, 10.0, 0.25);
+      EXPECT_GE(floor, prev);
+      prev = floor;
+    }
+    EXPECT_GT(measured_power_floor_mw(cfg, 0.9, 10.0, 0.25),
+              cfg.app.baseline_mw);
+    // A window too short to force any generated traffic degenerates to
+    // the baseline (the floor then never triggers early termination).
+    EXPECT_EQ(measured_power_floor_mw(cfg, 0.9, 0.02, 0.01),
+              cfg.app.baseline_mw);
+    EXPECT_THROW((void)measured_power_floor_mw(cfg, 1.5, 10.0, 0.25),
+                 ModelError);
+    EXPECT_THROW((void)measured_power_floor_mw(cfg, 0.9, 0.25, 0.25),
+                 ModelError);
+  }
+  // The coordinator exclusion discounts star deliveries: a mesh cell of
+  // the same shape keeps all of them and floors strictly higher.
+  const auto star = sc.make_config(Topology::from_locations({0, 2, 4, 6}), 1,
+                                   MacProtocol::kCsma, RoutingProtocol::kStar);
+  const auto mesh = sc.make_config(Topology::from_locations({0, 2, 4, 6}), 1,
+                                   MacProtocol::kCsma, RoutingProtocol::kMesh);
+  EXPECT_LT(measured_power_floor_mw(star, 0.9, 10.0, 0.25),
+            measured_power_floor_mw(mesh, 0.9, 10.0, 0.25));
+}
+
 TEST(Config, LabelMatchesPaperStyle) {
   Scenario sc;
   const auto cfg = sc.make_config(Topology::from_locations({0, 1, 3, 6}), 1,
