@@ -1,9 +1,14 @@
 #!/usr/bin/env bash
 # Runs the tier-1 test suite under AddressSanitizer and ThreadSanitizer
 # in sequence — the pre-merge confidence sweep for the concurrency and
-# memory-safety guarantees the code comments promise.
+# memory-safety guarantees the code comments promise — plus a
+# store-recovery fuzz sweep (hi::store corruption handling under ASan,
+# wider than the tier-1 smoke run).
 #
-#   scripts/check.sh [extra ctest args...]
+#   scripts/check.sh [--extended] [extra ctest args...]
+#
+# --extended additionally runs the `extended` ctest label (the long
+# fuzz_dse / fuzz_store sweeps) in both sanitizer trees.
 #
 # Build trees live in build-address/ and build-thread/ next to build/
 # (all three are gitignored); each is configured on first use and
@@ -11,6 +16,12 @@
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
+
+extended=0
+if [[ "${1:-}" == "--extended" ]]; then
+  extended=1
+  shift
+fi
 
 run_suite() {
   local sanitizer="$1"
@@ -22,8 +33,23 @@ run_suite() {
   cmake --build "${dir}" -j "$(nproc)"
   echo "==> ${sanitizer}: ctest -L tier1"
   ctest --test-dir "${dir}" -L tier1 --output-on-failure -j "$(nproc)" "$@"
+  if [[ "${extended}" == 1 ]]; then
+    echo "==> ${sanitizer}: ctest -L extended"
+    ctest --test-dir "${dir}" -L extended --output-on-failure \
+          -j "$(nproc)" "$@"
+  fi
 }
 
 run_suite address "$@"
 run_suite thread "$@"
+
+# Store-recovery fuzzing beyond the tier-1 smoke run: seeded torn-write /
+# bit-flip corruption against hi::store's recovery contract, under ASan
+# so any parsing overrun in the framing or codecs is caught outright.
+echo "==> address: fuzz_store recovery sweep"
+fuzz_dir="$(mktemp -d)"
+trap 'rm -rf "${fuzz_dir}"' EXIT
+./build-address/tests/fuzz_store --seed 1 --scenarios 25 --trials 12 \
+                                 --dir "${fuzz_dir}"
+
 echo "==> all sanitizer suites passed"

@@ -60,6 +60,11 @@ struct Algorithm1Options {
 
 /// Deprecated shim: forwards to the ExplorationOptions overload
 /// (dse/explorer.hpp).
+///
+/// Removal target: the next API-cleanup PR.  No in-tree caller remains
+/// (tests cover the Algorithm1Options mapping via
+/// to_exploration_options() only); out-of-tree code should migrate to
+/// ExplorationOptions now.
 [[deprecated("use run_algorithm1(scenario, eval, ExplorationOptions) from "
              "dse/explorer.hpp")]] [[nodiscard]]
 ExplorationResult run_algorithm1(const model::Scenario& scenario,

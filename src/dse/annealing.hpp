@@ -50,6 +50,11 @@ struct AnnealingOptions {
 
 /// Deprecated shim: forwards to the ExplorationOptions overload
 /// (dse/explorer.hpp).
+///
+/// Removal target: the next API-cleanup PR.  No in-tree caller remains
+/// (tests cover the AnnealingOptions mapping via
+/// to_exploration_options() only); out-of-tree code should migrate to
+/// ExplorationOptions now.
 [[deprecated("use run_annealing(scenario, eval, ExplorationOptions) from "
              "dse/explorer.hpp")]] [[nodiscard]]
 ExplorationResult run_annealing(const model::Scenario& scenario,

@@ -16,6 +16,7 @@ Evaluator::Evaluator(EvaluatorSettings settings)
 void Evaluator::reset_counters() {
   simulations_ = 0;
   cache_hits_ = 0;
+  store_hits_ = 0;
   counted_this_epoch_.clear();
 }
 

@@ -17,9 +17,19 @@
 // design_key() and all design points share one channel-realization root
 // (common random numbers): what a simulation returns never depends on
 // which thread ran it or when.
+//
+// Durability is layered on top the same way (hi::store, DESIGN.md §10):
+// preload() seeds the cache with results a previous process already
+// paid for, and a store sink observes every fresh simulation for
+// write-through.  Store-served design points are counted in
+// store_hits() / `dse.store_hits`, never in simulations(), so a
+// store-warmed run reports simulations == (cold total − store hits)
+// while everything else — optima, history, cache_hits — stays
+// bit-identical to a cold run.
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -125,30 +135,54 @@ class Evaluator {
   /// BatchEvaluator calls this in the caller's request order after its
   /// parallel compute phase; that replay is what makes the parallel
   /// counters bit-identical to serial.
+  ///
+  /// Store accounting: the first serve of a preload()ed entry is the
+  /// moment a cold run would have simulated, so it counts as a store
+  /// hit instead of a simulation *and* instead of a cache hit; the
+  /// entry then sheds its preloaded mark and behaves exactly like a
+  /// simulated one (including the once-per-epoch re-count on later
+  /// epochs).  With no preloads this path is bit-identical to the
+  /// pre-store behaviour.
   const Evaluation& admit(const model::NetworkConfig& cfg,
                           const Evaluation* precomputed) {
     const std::uint64_t key = cfg.design_key();
+    const auto it = cache_.find(key);
+    const bool store_serve = it != cache_.end() && it->second.preloaded;
     if (counted_this_epoch_.insert(key).second) {
-      ++simulations_;
-      if (sims_counter_ != nullptr) {
-        sims_counter_->add(1);  // the paper's headline count, mirrored
+      if (store_serve) {
+        ++store_hits_;
+        if (store_hits_counter_ != nullptr) {
+          store_hits_counter_->add(1);
+        }
+      } else {
+        ++simulations_;
+        if (sims_counter_ != nullptr) {
+          sims_counter_->add(1);  // the paper's headline count, mirrored
+        }
       }
     }
-    if (const auto it = cache_.find(key); it != cache_.end()) {
+    if (it != cache_.end()) {
       HI_REQUIRE(it->second.cfg == cfg,
                  "design_key collision: key " << key << " maps both "
                      << it->second.cfg.label() << " and " << cfg.label()
                      << "; the cached result would be wrong for one of "
                         "them — widen design_key()");
-      ++cache_hits_;
-      if (cache_hits_counter_ != nullptr) {
-        cache_hits_counter_->add(1);
+      it->second.preloaded = false;
+      if (!store_serve) {
+        ++cache_hits_;
+        if (cache_hits_counter_ != nullptr) {
+          cache_hits_counter_->add(1);
+        }
       }
       return it->second.ev;
     }
     CacheEntry entry{cfg, precomputed != nullptr ? *precomputed
                                                  : simulate_uncached(cfg)};
-    return cache_.emplace(key, std::move(entry)).first->second.ev;
+    const Evaluation& ev = cache_.emplace(key, std::move(entry)).first->second.ev;
+    if (store_sink_) {
+      store_sink_(cfg, ev);  // write-through: a fresh simulation landed
+    }
+    return ev;
   }
 
   /// Number of *distinct* design points requested since construction or
@@ -162,8 +196,44 @@ class Evaluator {
   /// Number of cache hits served (across epochs).
   [[nodiscard]] std::uint64_t cache_hits() const { return cache_hits_; }
 
+  /// Number of distinct design points served from preloaded (store-
+  /// origin) results this epoch — the simulations a previous process
+  /// already paid for.  simulations() + store_hits() of a warmed run
+  /// equals simulations() of the equivalent cold run.
+  [[nodiscard]] std::uint64_t store_hits() const { return store_hits_; }
+
   /// Starts a new counting epoch (the result cache is kept).
   void reset_counters();
+
+  /// Seeds the cache with a result a previous process computed under
+  /// *identical* settings (hi::store enforces that via the settings
+  /// fingerprint; callers bypassing the store carry the proof burden —
+  /// a wrong preload silently corrupts every downstream result).
+  /// Returns false (and keeps the existing entry, preserving reference
+  /// stability) when the design point is already cached.  A design_key
+  /// collision with a different cached config fails loudly, as in
+  /// admit().  Must not be called while a batch evaluation is in
+  /// flight.
+  bool preload(const model::NetworkConfig& cfg, const Evaluation& ev) {
+    const std::uint64_t key = cfg.design_key();
+    if (const auto it = cache_.find(key); it != cache_.end()) {
+      HI_REQUIRE(it->second.cfg == cfg,
+                 "design_key collision on preload: key "
+                     << key << " maps both " << it->second.cfg.label()
+                     << " and " << cfg.label());
+      return false;
+    }
+    cache_.emplace(key, CacheEntry{cfg, ev, /*preloaded=*/true});
+    return true;
+  }
+
+  /// Write-through observer: invoked from admit() — always serially,
+  /// batch commits included — once per freshly simulated design point,
+  /// after the result is cached.  Preloaded and cache-served points are
+  /// not re-announced.  Null clears it.
+  using StoreSink =
+      std::function<void(const model::NetworkConfig&, const Evaluation&)>;
+  void set_store_sink(StoreSink sink) { store_sink_ = std::move(sink); }
 
   [[nodiscard]] const EvaluatorSettings& settings() const { return settings_; }
 
@@ -181,15 +251,20 @@ class Evaluator {
     sims_counter_ = m != nullptr ? &m->counter("dse.simulations") : nullptr;
     cache_hits_counter_ =
         m != nullptr ? &m->counter("dse.cache_hits") : nullptr;
+    store_hits_counter_ =
+        m != nullptr ? &m->counter("dse.store_hits") : nullptr;
     return prev;
   }
 
  private:
   /// The canonical config rides along with each result so admit() can
   /// prove a hit really is the same design point (collision guard).
+  /// `preloaded` marks store-origin entries until their first serve
+  /// (see admit()'s store-accounting note).
   struct CacheEntry {
     model::NetworkConfig cfg;
     Evaluation ev;
+    bool preloaded = false;
   };
 
   EvaluatorSettings settings_;
@@ -197,10 +272,13 @@ class Evaluator {
   std::unordered_set<std::uint64_t> counted_this_epoch_;
   std::uint64_t simulations_ = 0;
   std::uint64_t cache_hits_ = 0;
+  std::uint64_t store_hits_ = 0;
+  StoreSink store_sink_;
   /// Active registry + cached instrument pointers (admit() is hot).
   obs::MetricsRegistry* metrics_ = nullptr;
   obs::Counter* sims_counter_ = nullptr;
   obs::Counter* cache_hits_counter_ = nullptr;
+  obs::Counter* store_hits_counter_ = nullptr;
 };
 
 }  // namespace hi::dse

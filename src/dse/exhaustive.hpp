@@ -21,6 +21,9 @@ namespace hi::dse {
 
 /// Deprecated shim: forwards to the ExplorationOptions overload
 /// (dse/explorer.hpp) with only pdr_min set.
+///
+/// Removal target: the next API-cleanup PR.  No in-tree caller remains;
+/// out-of-tree code should migrate to ExplorationOptions now.
 [[deprecated("use run_exhaustive(scenario, eval, ExplorationOptions) from "
              "dse/explorer.hpp")]] [[nodiscard]]
 ExplorationResult run_exhaustive(const model::Scenario& scenario,

@@ -1,0 +1,941 @@
+#include "store/serialize.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+#include <vector>
+
+namespace hi::store {
+
+namespace {
+
+// --- SHA-256 (FIPS 180-4) ----------------------------------------------
+
+constexpr std::array<std::uint32_t, 64> kSha256K = {
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1,
+    0x923f82a4, 0xab1c5ed5, 0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3,
+    0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174, 0xe49b69c1, 0xefbe4786,
+    0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147,
+    0x06ca6351, 0x14292967, 0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13,
+    0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85, 0xa2bfe8a1, 0xa81a664b,
+    0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a,
+    0x5b9cca4f, 0x682e6ff3, 0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208,
+    0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2};
+
+constexpr std::uint32_t rotr(std::uint32_t x, int n) {
+  return (x >> n) | (x << (32 - n));
+}
+
+void sha256_block(std::array<std::uint32_t, 8>& h, const std::uint8_t* p) {
+  std::array<std::uint32_t, 64> w{};
+  for (int i = 0; i < 16; ++i) {
+    w[static_cast<std::size_t>(i)] =
+        (static_cast<std::uint32_t>(p[4 * i]) << 24) |
+        (static_cast<std::uint32_t>(p[4 * i + 1]) << 16) |
+        (static_cast<std::uint32_t>(p[4 * i + 2]) << 8) |
+        static_cast<std::uint32_t>(p[4 * i + 3]);
+  }
+  for (std::size_t i = 16; i < 64; ++i) {
+    const std::uint32_t s0 =
+        rotr(w[i - 15], 7) ^ rotr(w[i - 15], 18) ^ (w[i - 15] >> 3);
+    const std::uint32_t s1 =
+        rotr(w[i - 2], 17) ^ rotr(w[i - 2], 19) ^ (w[i - 2] >> 10);
+    w[i] = w[i - 16] + s0 + w[i - 7] + s1;
+  }
+  std::uint32_t a = h[0], b = h[1], c = h[2], d = h[3];
+  std::uint32_t e = h[4], f = h[5], g = h[6], hh = h[7];
+  for (std::size_t i = 0; i < 64; ++i) {
+    const std::uint32_t s1 = rotr(e, 6) ^ rotr(e, 11) ^ rotr(e, 25);
+    const std::uint32_t ch = (e & f) ^ (~e & g);
+    const std::uint32_t t1 = hh + s1 + ch + kSha256K[i] + w[i];
+    const std::uint32_t s0 = rotr(a, 2) ^ rotr(a, 13) ^ rotr(a, 22);
+    const std::uint32_t maj = (a & b) ^ (a & c) ^ (b & c);
+    const std::uint32_t t2 = s0 + maj;
+    hh = g;
+    g = f;
+    f = e;
+    e = d + t1;
+    d = c;
+    c = b;
+    b = a;
+    a = t1 + t2;
+  }
+  h[0] += a;
+  h[1] += b;
+  h[2] += c;
+  h[3] += d;
+  h[4] += e;
+  h[5] += f;
+  h[6] += g;
+  h[7] += hh;
+}
+
+}  // namespace
+
+Digest sha256(std::string_view data) {
+  std::array<std::uint32_t, 8> h = {0x6a09e667, 0xbb67ae85, 0x3c6ef372,
+                                    0xa54ff53a, 0x510e527f, 0x9b05688c,
+                                    0x1f83d9ab, 0x5be0cd19};
+  const auto* p = reinterpret_cast<const std::uint8_t*>(data.data());
+  std::size_t n = data.size();
+  while (n >= 64) {
+    sha256_block(h, p);
+    p += 64;
+    n -= 64;
+  }
+  // Final block(s): message tail + 0x80 + zero pad + 64-bit bit length.
+  std::array<std::uint8_t, 128> tail{};
+  std::memcpy(tail.data(), p, n);
+  tail[n] = 0x80;
+  const std::size_t blocks = n + 9 <= 64 ? 1 : 2;
+  const std::uint64_t bits = static_cast<std::uint64_t>(data.size()) * 8;
+  for (int i = 0; i < 8; ++i) {
+    tail[blocks * 64 - 8 + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(bits >> (56 - 8 * i));
+  }
+  sha256_block(h, tail.data());
+  if (blocks == 2) {
+    sha256_block(h, tail.data() + 64);
+  }
+  Digest out;
+  for (int i = 0; i < 8; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      out.bytes[static_cast<std::size_t>(4 * i + j)] =
+          static_cast<std::uint8_t>(h[static_cast<std::size_t>(i)] >>
+                                    (24 - 8 * j));
+    }
+  }
+  return out;
+}
+
+std::string Digest::hex() const {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(64);
+  for (std::uint8_t b : bytes) {
+    out.push_back(kHex[b >> 4]);
+    out.push_back(kHex[b & 0xF]);
+  }
+  return out;
+}
+
+// --- ByteWriter / ByteReader -------------------------------------------
+
+void ByteWriter::put_u16(std::uint16_t v) {
+  put_u8(static_cast<std::uint8_t>(v));
+  put_u8(static_cast<std::uint8_t>(v >> 8));
+}
+
+void ByteWriter::put_u32(std::uint32_t v) {
+  put_u16(static_cast<std::uint16_t>(v));
+  put_u16(static_cast<std::uint16_t>(v >> 16));
+}
+
+void ByteWriter::put_u64(std::uint64_t v) {
+  put_u32(static_cast<std::uint32_t>(v));
+  put_u32(static_cast<std::uint32_t>(v >> 32));
+}
+
+void ByteWriter::put_f64(double v) { put_u64(std::bit_cast<std::uint64_t>(v)); }
+
+void ByteWriter::put_string(std::string_view s) {
+  put_u32(static_cast<std::uint32_t>(s.size()));
+  buf_.append(s.data(), s.size());
+}
+
+void ByteWriter::put_digest(const Digest& d) {
+  buf_.append(reinterpret_cast<const char*>(d.bytes.data()), d.bytes.size());
+}
+
+bool ByteReader::take(std::size_t n) {
+  if (!ok_ || data_.size() - pos_ < n) {
+    ok_ = false;
+    return false;
+  }
+  return true;
+}
+
+std::uint8_t ByteReader::get_u8() {
+  if (!take(1)) return 0;
+  return static_cast<std::uint8_t>(data_[pos_++]);
+}
+
+std::uint16_t ByteReader::get_u16() {
+  if (!take(2)) return 0;  // whole-width bounds check: fail -> exactly 0
+  std::uint16_t v = 0;
+  for (int i = 1; i >= 0; --i) {
+    v = static_cast<std::uint16_t>((v << 8) |
+                                   static_cast<std::uint8_t>(data_[pos_ + i]));
+  }
+  pos_ += 2;
+  return v;
+}
+
+std::uint32_t ByteReader::get_u32() {
+  if (!take(4)) return 0;
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) {
+    v = (v << 8) | static_cast<std::uint8_t>(data_[pos_ + i]);
+  }
+  pos_ += 4;
+  return v;
+}
+
+std::uint64_t ByteReader::get_u64() {
+  if (!take(8)) return 0;
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) {
+    v = (v << 8) | static_cast<std::uint8_t>(data_[pos_ + i]);
+  }
+  pos_ += 8;
+  return v;
+}
+
+double ByteReader::get_f64() { return std::bit_cast<double>(get_u64()); }
+
+std::string ByteReader::get_string() {
+  const std::uint32_t n = get_u32();
+  if (!take(n)) return {};
+  std::string out(data_.substr(pos_, n));
+  pos_ += n;
+  return out;
+}
+
+Digest ByteReader::get_digest() {
+  Digest d;
+  if (!take(d.bytes.size())) return d;
+  std::memcpy(d.bytes.data(), data_.data() + pos_, d.bytes.size());
+  pos_ += d.bytes.size();
+  return d;
+}
+
+// --- canonical binary codecs -------------------------------------------
+
+namespace {
+
+/// Decodes a 0/1 enum byte; anything else marks the payload corrupt by
+/// pushing the reader past its end (sticky failure).
+template <typename E>
+bool get_enum01(ByteReader& r, E zero, E one, E& out) {
+  const std::uint8_t v = r.get_u8();
+  if (!r.ok() || v > 1) return false;
+  out = v == 0 ? zero : one;
+  return true;
+}
+
+}  // namespace
+
+void write_config(ByteWriter& w, const model::NetworkConfig& cfg) {
+  w.put_u16(cfg.topology.mask());
+  w.put_f64(cfg.radio.fc_hz);
+  w.put_f64(cfg.radio.bit_rate_bps);
+  w.put_f64(cfg.radio.tx_dbm);
+  w.put_f64(cfg.radio.tx_mw);
+  w.put_f64(cfg.radio.rx_dbm);
+  w.put_f64(cfg.radio.rx_mw);
+  w.put_i32(cfg.tx_level_index);
+  w.put_u8(cfg.mac.protocol == model::MacProtocol::kTdma ? 1 : 0);
+  w.put_i32(cfg.mac.buffer_packets);
+  w.put_u8(cfg.mac.access_mode == model::CsmaAccessMode::kPersistent ? 1 : 0);
+  w.put_f64(cfg.mac.slot_s);
+  w.put_u8(cfg.routing.protocol == model::RoutingProtocol::kMesh ? 1 : 0);
+  w.put_i32(cfg.routing.coordinator);
+  w.put_i32(cfg.routing.max_hops);
+  w.put_f64(cfg.app.baseline_mw);
+  w.put_i32(cfg.app.packet_bytes);
+  w.put_f64(cfg.app.throughput_pps);
+  w.put_f64(cfg.battery_j);
+}
+
+bool read_config(ByteReader& r, model::NetworkConfig& cfg) {
+  cfg.topology = model::Topology::from_mask(r.get_u16());
+  cfg.radio.fc_hz = r.get_f64();
+  cfg.radio.bit_rate_bps = r.get_f64();
+  cfg.radio.tx_dbm = r.get_f64();
+  cfg.radio.tx_mw = r.get_f64();
+  cfg.radio.rx_dbm = r.get_f64();
+  cfg.radio.rx_mw = r.get_f64();
+  cfg.tx_level_index = r.get_i32();
+  if (!get_enum01(r, model::MacProtocol::kCsma, model::MacProtocol::kTdma,
+                  cfg.mac.protocol)) {
+    return false;
+  }
+  cfg.mac.buffer_packets = r.get_i32();
+  if (!get_enum01(r, model::CsmaAccessMode::kNonPersistent,
+                  model::CsmaAccessMode::kPersistent, cfg.mac.access_mode)) {
+    return false;
+  }
+  cfg.mac.slot_s = r.get_f64();
+  if (!get_enum01(r, model::RoutingProtocol::kStar,
+                  model::RoutingProtocol::kMesh, cfg.routing.protocol)) {
+    return false;
+  }
+  cfg.routing.coordinator = r.get_i32();
+  cfg.routing.max_hops = r.get_i32();
+  cfg.app.baseline_mw = r.get_f64();
+  cfg.app.packet_bytes = r.get_i32();
+  cfg.app.throughput_pps = r.get_f64();
+  cfg.battery_j = r.get_f64();
+  return r.ok();
+}
+
+void write_evaluation(ByteWriter& w, const dse::Evaluation& ev) {
+  w.put_f64(ev.pdr);
+  w.put_f64(ev.power_mw);
+  w.put_f64(ev.nlt_s);
+  const net::SimResult& d = ev.detail;
+  w.put_f64(d.pdr);
+  w.put_f64(d.worst_power_mw);
+  w.put_f64(d.mean_power_mw);
+  w.put_f64(d.nlt_s);
+  w.put_f64(d.duration_s);
+  w.put_u64(d.events);
+  w.put_u64(d.medium.transmissions);
+  w.put_u64(d.medium.deliveries_offered);
+  w.put_u64(d.medium.below_sensitivity);
+  w.put_u32(static_cast<std::uint32_t>(d.nodes.size()));
+  for (const net::NodeResult& n : d.nodes) {
+    w.put_i32(n.location);
+    w.put_f64(n.pdr);
+    w.put_f64(n.power_mw);
+    w.put_u64(n.app_sent);
+    w.put_u64(n.radio.tx_packets);
+    w.put_u64(n.radio.rx_ok);
+    w.put_u64(n.radio.rx_corrupted);
+    w.put_u64(n.radio.rx_missed);
+    w.put_u64(n.radio.rx_aborted);
+    w.put_u64(n.mac.enqueued);
+    w.put_u64(n.mac.sent);
+    w.put_u64(n.mac.dropped_buffer);
+    w.put_u64(n.mac.backoffs);
+    w.put_u64(n.routing.originated);
+    w.put_u64(n.routing.delivered);
+    w.put_u64(n.routing.duplicates);
+    w.put_u64(n.routing.relayed);
+  }
+}
+
+bool read_evaluation(ByteReader& r, dse::Evaluation& ev) {
+  ev.pdr = r.get_f64();
+  ev.power_mw = r.get_f64();
+  ev.nlt_s = r.get_f64();
+  net::SimResult& d = ev.detail;
+  d.pdr = r.get_f64();
+  d.worst_power_mw = r.get_f64();
+  d.mean_power_mw = r.get_f64();
+  d.nlt_s = r.get_f64();
+  d.duration_s = r.get_f64();
+  d.events = r.get_u64();
+  d.medium.transmissions = r.get_u64();
+  d.medium.deliveries_offered = r.get_u64();
+  d.medium.below_sensitivity = r.get_u64();
+  const std::uint32_t n_nodes = r.get_u32();
+  if (!r.ok() || n_nodes > 64) return false;  // > kNumLocations: corrupt
+  d.nodes.clear();
+  d.nodes.reserve(n_nodes);
+  for (std::uint32_t i = 0; i < n_nodes; ++i) {
+    net::NodeResult n;
+    n.location = r.get_i32();
+    n.pdr = r.get_f64();
+    n.power_mw = r.get_f64();
+    n.app_sent = r.get_u64();
+    n.radio.tx_packets = r.get_u64();
+    n.radio.rx_ok = r.get_u64();
+    n.radio.rx_corrupted = r.get_u64();
+    n.radio.rx_missed = r.get_u64();
+    n.radio.rx_aborted = r.get_u64();
+    n.mac.enqueued = r.get_u64();
+    n.mac.sent = r.get_u64();
+    n.mac.dropped_buffer = r.get_u64();
+    n.mac.backoffs = r.get_u64();
+    n.routing.originated = r.get_u64();
+    n.routing.delivered = r.get_u64();
+    n.routing.duplicates = r.get_u64();
+    n.routing.relayed = r.get_u64();
+    d.nodes.push_back(n);
+  }
+  return r.ok();
+}
+
+// --- fingerprints -------------------------------------------------------
+
+Digest settings_fingerprint(const dse::EvaluatorSettings& s,
+                            std::string_view channel_tag) {
+  ByteWriter w;
+  w.put_string("hi.settings.v1");
+  w.put_f64(s.sim.duration_s);
+  w.put_f64(s.sim.gen_guard_s);
+  w.put_u64(s.sim.seed);
+  w.put_u64(s.sim.channel_seed);
+  w.put_f64(s.sim.capture_db);
+  w.put_f64(s.sim.csma.turnaround_s);
+  w.put_f64(s.sim.csma.backoff_max_s);
+  w.put_f64(s.sim.csma.persistent_poll_s);
+  w.put_i32(s.runs);
+  w.put_string(channel_tag);
+  return sha256(w.bytes());
+}
+
+Digest scenario_fingerprint(const model::Scenario& sc) {
+  ByteWriter w;
+  w.put_string("hi.scenario.v1");
+  w.put_f64(sc.chip.fc_hz);
+  w.put_f64(sc.chip.bit_rate_bps);
+  w.put_f64(sc.chip.rx_dbm);
+  w.put_f64(sc.chip.rx_mw);
+  w.put_u32(static_cast<std::uint32_t>(sc.chip.tx_levels.size()));
+  for (const model::TxLevel& l : sc.chip.tx_levels) {
+    w.put_f64(l.dbm);
+    w.put_f64(l.mw);
+  }
+  w.put_f64(sc.app.baseline_mw);
+  w.put_i32(sc.app.packet_bytes);
+  w.put_f64(sc.app.throughput_pps);
+  w.put_f64(sc.battery_j);
+  w.put_i32(sc.coordinator);
+  w.put_i32(sc.max_hops);
+  w.put_f64(sc.tdma_slot_s);
+  w.put_i32(sc.mac_buffer_packets);
+  w.put_u32(static_cast<std::uint32_t>(sc.required_locations.size()));
+  for (int loc : sc.required_locations) w.put_i32(loc);
+  w.put_u32(static_cast<std::uint32_t>(sc.coverage.size()));
+  for (const model::CoverageConstraint& c : sc.coverage) {
+    w.put_u32(static_cast<std::uint32_t>(c.locations.size()));
+    for (int loc : c.locations) w.put_i32(loc);
+  }
+  w.put_u32(static_cast<std::uint32_t>(sc.dependencies.size()));
+  for (const model::DependencyConstraint& d : sc.dependencies) {
+    w.put_i32(d.if_used);
+    w.put_i32(d.then_used);
+  }
+  w.put_i32(sc.min_nodes);
+  w.put_i32(sc.max_nodes);
+  return sha256(w.bytes());
+}
+
+Digest options_fingerprint(const dse::ExplorationOptions& opt,
+                           dse::ExplorerKind kind) {
+  ByteWriter w;
+  w.put_string("hi.expopt.v1");
+  w.put_u8(static_cast<std::uint8_t>(kind));
+  w.put_i32(opt.budget);
+  switch (kind) {
+    case dse::ExplorerKind::kAlgorithm1:
+      w.put_bool(opt.use_alpha_termination);
+      w.put_u8(opt.bound == dse::TerminationBound::kPaperAlpha ? 1 : 0);
+      w.put_f64(opt.alpha_kappa);
+      break;
+    case dse::ExplorerKind::kAnnealing:
+      w.put_u64(opt.seed);
+      w.put_f64(opt.t_start_mw);
+      w.put_f64(opt.t_end_mw);
+      w.put_f64(opt.penalty_mw_per_pdr);
+      break;
+    case dse::ExplorerKind::kExhaustive:
+      break;
+  }
+  return sha256(w.bytes());
+}
+
+// --- scenario JSON ------------------------------------------------------
+
+namespace {
+
+/// Shortest exact decimal rendering of a double (std::to_chars), so the
+/// JSON form round-trips bit for bit through strtod.
+std::string fmt_double(double v) {
+  std::array<char, 40> buf{};
+  const auto [end, ec] = std::to_chars(buf.data(), buf.data() + buf.size(), v);
+  if (ec != std::errc{}) return "0";
+  return std::string(buf.data(), end);
+}
+
+void put_json_string(std::string& out, std::string_view s) {
+  out.push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char esc[8];
+          std::snprintf(esc, sizeof esc, "\\u%04x", c);
+          out += esc;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+// A deliberately small JSON reader: objects, arrays, strings, numbers,
+// true/false/null — everything scenario_to_json can emit.  Parsed into a
+// tree of Values; the scenario builder then walks the tree with typed
+// accessors that record a one-line error on the first mismatch.
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string text;
+  std::vector<JsonValue> items;
+  std::vector<std::pair<std::string, JsonValue>> fields;
+
+  [[nodiscard]] const JsonValue* find(std::string_view key) const {
+    for (const auto& [k, v] : fields) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view s) : s_(s) {}
+
+  std::optional<JsonValue> parse(std::string* error) {
+    std::optional<JsonValue> v = value();
+    skip_ws();
+    if (v && pos_ != s_.size()) {
+      fail("trailing characters after JSON value");
+      v.reset();
+    }
+    if (!v && error != nullptr) *error = error_;
+    return v;
+  }
+
+ private:
+  void fail(std::string_view msg) {
+    if (error_.empty()) {
+      error_ = std::string(msg) + " at offset " + std::to_string(pos_);
+    }
+  }
+
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  bool consume(char c) {
+    skip_ws();
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  std::optional<JsonValue> value() {
+    skip_ws();
+    if (pos_ >= s_.size()) {
+      fail("unexpected end of input");
+      return std::nullopt;
+    }
+    const char c = s_[pos_];
+    if (c == '{') return object();
+    if (c == '[') return array();
+    if (c == '"') return string_value();
+    if (c == 't' || c == 'f' || c == 'n') return keyword();
+    return number();
+  }
+
+  std::optional<JsonValue> object() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kObject;
+    ++pos_;  // '{'
+    if (consume('}')) return v;
+    while (true) {
+      skip_ws();
+      std::optional<std::string> key = raw_string();
+      if (!key) return std::nullopt;
+      if (!consume(':')) {
+        fail("expected ':' after object key");
+        return std::nullopt;
+      }
+      std::optional<JsonValue> item = value();
+      if (!item) return std::nullopt;
+      v.fields.emplace_back(std::move(*key), std::move(*item));
+      if (consume(',')) continue;
+      if (consume('}')) return v;
+      fail("expected ',' or '}' in object");
+      return std::nullopt;
+    }
+  }
+
+  std::optional<JsonValue> array() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kArray;
+    ++pos_;  // '['
+    if (consume(']')) return v;
+    while (true) {
+      std::optional<JsonValue> item = value();
+      if (!item) return std::nullopt;
+      v.items.push_back(std::move(*item));
+      if (consume(',')) continue;
+      if (consume(']')) return v;
+      fail("expected ',' or ']' in array");
+      return std::nullopt;
+    }
+  }
+
+  std::optional<std::string> raw_string() {
+    if (pos_ >= s_.size() || s_[pos_] != '"') {
+      fail("expected string");
+      return std::nullopt;
+    }
+    ++pos_;
+    std::string out;
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos_ >= s_.size()) break;
+        const char e = s_[pos_++];
+        switch (e) {
+          case '"': out.push_back('"'); break;
+          case '\\': out.push_back('\\'); break;
+          case '/': out.push_back('/'); break;
+          case 'n': out.push_back('\n'); break;
+          case 't': out.push_back('\t'); break;
+          case 'r': out.push_back('\r'); break;
+          case 'b': out.push_back('\b'); break;
+          case 'f': out.push_back('\f'); break;
+          case 'u': {
+            if (s_.size() - pos_ < 4) {
+              fail("truncated \\u escape");
+              return std::nullopt;
+            }
+            unsigned code = 0;
+            const auto res = std::from_chars(
+                s_.data() + pos_, s_.data() + pos_ + 4, code, 16);
+            if (res.ec != std::errc{} || res.ptr != s_.data() + pos_ + 4) {
+              fail("bad \\u escape");
+              return std::nullopt;
+            }
+            pos_ += 4;
+            if (code > 0x7F) {
+              fail("non-ASCII \\u escape unsupported");
+              return std::nullopt;
+            }
+            out.push_back(static_cast<char>(code));
+            break;
+          }
+          default:
+            fail("unknown escape");
+            return std::nullopt;
+        }
+      } else {
+        out.push_back(c);
+      }
+    }
+    fail("unterminated string");
+    return std::nullopt;
+  }
+
+  std::optional<JsonValue> string_value() {
+    std::optional<std::string> s = raw_string();
+    if (!s) return std::nullopt;
+    JsonValue v;
+    v.kind = JsonValue::Kind::kString;
+    v.text = std::move(*s);
+    return v;
+  }
+
+  std::optional<JsonValue> keyword() {
+    JsonValue v;
+    if (s_.substr(pos_, 4) == "true") {
+      v.kind = JsonValue::Kind::kBool;
+      v.boolean = true;
+      pos_ += 4;
+    } else if (s_.substr(pos_, 5) == "false") {
+      v.kind = JsonValue::Kind::kBool;
+      pos_ += 5;
+    } else if (s_.substr(pos_, 4) == "null") {
+      pos_ += 4;
+    } else {
+      fail("unknown keyword");
+      return std::nullopt;
+    }
+    return v;
+  }
+
+  std::optional<JsonValue> number() {
+    // Copy a bounded window: the string_view need not be
+    // null-terminated, which strtod requires.  strtod accepts exactly
+    // the JSON number grammar plus a few extensions (hex, inf, nan)
+    // that scenario_to_json never emits.
+    const std::string window(
+        s_.substr(pos_, std::min<std::size_t>(64, s_.size() - pos_)));
+    char* end = nullptr;
+    const double d = std::strtod(window.c_str(), &end);
+    if (end == window.c_str()) {
+      fail("expected a number");
+      return std::nullopt;
+    }
+    pos_ += static_cast<std::size_t>(end - window.c_str());
+    JsonValue v;
+    v.kind = JsonValue::Kind::kNumber;
+    v.number = d;
+    return v;
+  }
+
+  std::string_view s_;
+  std::size_t pos_ = 0;
+  std::string error_;
+};
+
+/// Typed accessors over a parsed tree; the first mismatch latches an
+/// error message and every later access short-circuits.
+class ScenarioBuilder {
+ public:
+  explicit ScenarioBuilder(std::string* error) : error_(error) {}
+
+  [[nodiscard]] bool failed() const { return failed_; }
+
+  void fail(std::string msg) {
+    if (!failed_ && error_ != nullptr) *error_ = std::move(msg);
+    failed_ = true;
+  }
+
+  double num(const JsonValue& obj, std::string_view key) {
+    const JsonValue* v = require(obj, key);
+    if (v == nullptr) return 0.0;
+    if (v->kind != JsonValue::Kind::kNumber) {
+      fail("field '" + std::string(key) + "' must be a number");
+      return 0.0;
+    }
+    return v->number;
+  }
+
+  int integer(const JsonValue& obj, std::string_view key) {
+    const double d = num(obj, key);
+    if (failed_) return 0;
+    if (d != std::floor(d) || std::abs(d) > 1e9) {
+      fail("field '" + std::string(key) + "' must be an integer");
+      return 0;
+    }
+    return static_cast<int>(d);
+  }
+
+  std::string str(const JsonValue& obj, std::string_view key) {
+    const JsonValue* v = require(obj, key);
+    if (v == nullptr) return {};
+    if (v->kind != JsonValue::Kind::kString) {
+      fail("field '" + std::string(key) + "' must be a string");
+      return {};
+    }
+    return v->text;
+  }
+
+  const JsonValue* require(const JsonValue& obj, std::string_view key) {
+    if (failed_) return nullptr;
+    const JsonValue* v = obj.find(key);
+    if (v == nullptr) {
+      fail("missing field '" + std::string(key) + "'");
+    }
+    return v;
+  }
+
+  std::vector<int> int_array(const JsonValue& obj, std::string_view key) {
+    std::vector<int> out;
+    const JsonValue* v = require(obj, key);
+    if (v == nullptr) return out;
+    if (v->kind != JsonValue::Kind::kArray) {
+      fail("field '" + std::string(key) + "' must be an array");
+      return out;
+    }
+    for (const JsonValue& item : v->items) {
+      if (item.kind != JsonValue::Kind::kNumber ||
+          item.number != std::floor(item.number)) {
+        fail("field '" + std::string(key) + "' must hold integers");
+        return out;
+      }
+      out.push_back(static_cast<int>(item.number));
+    }
+    return out;
+  }
+
+  /// Rejects keys outside `allowed` so a typo'd field fails loudly
+  /// instead of silently keeping the default.
+  void check_keys(const JsonValue& obj,
+                  std::initializer_list<std::string_view> allowed) {
+    if (failed_) return;
+    for (const auto& [k, v] : obj.fields) {
+      bool known = false;
+      for (std::string_view a : allowed) {
+        known = known || a == k;
+      }
+      if (!known) {
+        fail("unknown field '" + k + "'");
+        return;
+      }
+    }
+  }
+
+ private:
+  std::string* error_;
+  bool failed_ = false;
+};
+
+}  // namespace
+
+std::string scenario_to_json(const model::Scenario& sc) {
+  std::string out;
+  out += "{\n  \"format\": \"hi-scenario-v1\",\n";
+  out += "  \"chip\": {\n    \"name\": ";
+  put_json_string(out, sc.chip.name);
+  out += ",\n    \"fc_hz\": " + fmt_double(sc.chip.fc_hz);
+  out += ",\n    \"bit_rate_bps\": " + fmt_double(sc.chip.bit_rate_bps);
+  out += ",\n    \"rx_dbm\": " + fmt_double(sc.chip.rx_dbm);
+  out += ",\n    \"rx_mw\": " + fmt_double(sc.chip.rx_mw);
+  out += ",\n    \"tx_levels\": [";
+  for (std::size_t i = 0; i < sc.chip.tx_levels.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += "{\"dbm\": " + fmt_double(sc.chip.tx_levels[i].dbm) +
+           ", \"mw\": " + fmt_double(sc.chip.tx_levels[i].mw) + "}";
+  }
+  out += "]\n  },\n";
+  out += "  \"app\": {\"baseline_mw\": " + fmt_double(sc.app.baseline_mw) +
+         ", \"packet_bytes\": " + std::to_string(sc.app.packet_bytes) +
+         ", \"throughput_pps\": " + fmt_double(sc.app.throughput_pps) +
+         "},\n";
+  out += "  \"battery_j\": " + fmt_double(sc.battery_j) + ",\n";
+  out += "  \"coordinator\": " + std::to_string(sc.coordinator) + ",\n";
+  out += "  \"max_hops\": " + std::to_string(sc.max_hops) + ",\n";
+  out += "  \"tdma_slot_s\": " + fmt_double(sc.tdma_slot_s) + ",\n";
+  out += "  \"mac_buffer_packets\": " + std::to_string(sc.mac_buffer_packets) +
+         ",\n";
+  out += "  \"required_locations\": [";
+  for (std::size_t i = 0; i < sc.required_locations.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += std::to_string(sc.required_locations[i]);
+  }
+  out += "],\n  \"coverage\": [";
+  for (std::size_t i = 0; i < sc.coverage.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += "\n    {\"locations\": [";
+    for (std::size_t j = 0; j < sc.coverage[i].locations.size(); ++j) {
+      if (j > 0) out += ", ";
+      out += std::to_string(sc.coverage[i].locations[j]);
+    }
+    out += "], \"reason\": ";
+    put_json_string(out, sc.coverage[i].reason);
+    out += "}";
+  }
+  if (!sc.coverage.empty()) out += "\n  ";
+  out += "],\n  \"dependencies\": [";
+  for (std::size_t i = 0; i < sc.dependencies.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += "\n    {\"if_used\": " + std::to_string(sc.dependencies[i].if_used) +
+           ", \"then_used\": " + std::to_string(sc.dependencies[i].then_used) +
+           ", \"reason\": ";
+    put_json_string(out, sc.dependencies[i].reason);
+    out += "}";
+  }
+  if (!sc.dependencies.empty()) out += "\n  ";
+  out += "],\n";
+  out += "  \"min_nodes\": " + std::to_string(sc.min_nodes) + ",\n";
+  out += "  \"max_nodes\": " + std::to_string(sc.max_nodes) + "\n}\n";
+  return out;
+}
+
+std::optional<model::Scenario> scenario_from_json(std::string_view json,
+                                                  std::string* error) {
+  std::optional<JsonValue> root = JsonParser(json).parse(error);
+  if (!root) return std::nullopt;
+  ScenarioBuilder b(error);
+  if (root->kind != JsonValue::Kind::kObject) {
+    b.fail("top-level JSON value must be an object");
+    return std::nullopt;
+  }
+  b.check_keys(*root,
+               {"format", "chip", "app", "battery_j", "coordinator",
+                "max_hops", "tdma_slot_s", "mac_buffer_packets",
+                "required_locations", "coverage", "dependencies", "min_nodes",
+                "max_nodes"});
+  if (b.str(*root, "format") != "hi-scenario-v1" && !b.failed()) {
+    b.fail("unsupported format (want \"hi-scenario-v1\")");
+  }
+
+  model::Scenario sc;
+  if (const JsonValue* chip = b.require(*root, "chip"); chip != nullptr) {
+    b.check_keys(*chip,
+                 {"name", "fc_hz", "bit_rate_bps", "rx_dbm", "rx_mw",
+                  "tx_levels"});
+    sc.chip.name = b.str(*chip, "name");
+    sc.chip.fc_hz = b.num(*chip, "fc_hz");
+    sc.chip.bit_rate_bps = b.num(*chip, "bit_rate_bps");
+    sc.chip.rx_dbm = b.num(*chip, "rx_dbm");
+    sc.chip.rx_mw = b.num(*chip, "rx_mw");
+    sc.chip.tx_levels.clear();
+    if (const JsonValue* levels = b.require(*chip, "tx_levels");
+        levels != nullptr && levels->kind == JsonValue::Kind::kArray) {
+      for (const JsonValue& l : levels->items) {
+        b.check_keys(l, {"dbm", "mw"});
+        model::TxLevel level;
+        level.dbm = b.num(l, "dbm");
+        level.mw = b.num(l, "mw");
+        sc.chip.tx_levels.push_back(level);
+      }
+    }
+  }
+  if (const JsonValue* app = b.require(*root, "app"); app != nullptr) {
+    b.check_keys(*app, {"baseline_mw", "packet_bytes", "throughput_pps"});
+    sc.app.baseline_mw = b.num(*app, "baseline_mw");
+    sc.app.packet_bytes = b.integer(*app, "packet_bytes");
+    sc.app.throughput_pps = b.num(*app, "throughput_pps");
+  }
+  sc.battery_j = b.num(*root, "battery_j");
+  sc.coordinator = b.integer(*root, "coordinator");
+  sc.max_hops = b.integer(*root, "max_hops");
+  sc.tdma_slot_s = b.num(*root, "tdma_slot_s");
+  sc.mac_buffer_packets = b.integer(*root, "mac_buffer_packets");
+  sc.required_locations = b.int_array(*root, "required_locations");
+  sc.coverage.clear();
+  if (const JsonValue* cov = b.require(*root, "coverage");
+      cov != nullptr && cov->kind == JsonValue::Kind::kArray) {
+    for (const JsonValue& group : cov->items) {
+      b.check_keys(group, {"locations", "reason"});
+      model::CoverageConstraint c;
+      c.locations = b.int_array(group, "locations");
+      // reason is a non-owning const char*; the JSON text would dangle.
+      // Fingerprints ignore reasons, so parsing it back as "" is lossless
+      // for every identity the store depends on.
+      c.reason = "";
+      (void)b.str(group, "reason");
+      sc.coverage.push_back(std::move(c));
+    }
+  }
+  sc.dependencies.clear();
+  if (const JsonValue* deps = b.require(*root, "dependencies");
+      deps != nullptr && deps->kind == JsonValue::Kind::kArray) {
+    for (const JsonValue& dep : deps->items) {
+      b.check_keys(dep, {"if_used", "then_used", "reason"});
+      model::DependencyConstraint d;
+      d.if_used = b.integer(dep, "if_used");
+      d.then_used = b.integer(dep, "then_used");
+      d.reason = "";
+      (void)b.str(dep, "reason");
+      sc.dependencies.push_back(d);
+    }
+  }
+  sc.min_nodes = b.integer(*root, "min_nodes");
+  sc.max_nodes = b.integer(*root, "max_nodes");
+  if (b.failed()) return std::nullopt;
+  return sc;
+}
+
+}  // namespace hi::store

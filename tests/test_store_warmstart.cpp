@@ -1,0 +1,156 @@
+// hi::store warm start: Evaluator preload/store-hit accounting at the
+// unit level, and the hi::check determinism property (cold vs warmed
+// Algorithm 1, bit for bit) at several thread counts.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "check/scenario_gen.hpp"
+#include "check/store_props.hpp"
+#include "dse/evaluator.hpp"
+#include "dse/explorer.hpp"
+#include "store/store.hpp"
+
+namespace {
+
+using namespace hi;
+
+check::ScenarioSpec small_spec() {
+  return check::make_scenario(11, /*shrink_level=*/1);
+}
+
+TEST(EvaluatorPreload, FirstServeCountsAsStoreHitThenBehavesCached) {
+  const check::ScenarioSpec spec = small_spec();
+  const std::vector<model::NetworkConfig> configs =
+      spec.scenario.feasible_configs();
+  ASSERT_GE(configs.size(), 2u);
+  const model::NetworkConfig& warm_cfg = configs[0];
+  const model::NetworkConfig& cold_cfg = configs[1];
+
+  dse::Evaluator oracle(spec.settings);
+  const dse::Evaluation truth = oracle.simulate_uncached(warm_cfg);
+
+  dse::Evaluator eval(spec.settings);
+  EXPECT_TRUE(eval.preload(warm_cfg, truth));
+  EXPECT_FALSE(eval.preload(warm_cfg, truth));  // already cached
+  EXPECT_TRUE(eval.cached(warm_cfg));
+  EXPECT_EQ(eval.store_hits(), 0u);  // accounting waits for the serve
+
+  const dse::Evaluation& served = eval.evaluate(warm_cfg);
+  EXPECT_EQ(served.pdr, truth.pdr);
+  EXPECT_EQ(served.power_mw, truth.power_mw);
+  EXPECT_EQ(eval.store_hits(), 1u);
+  EXPECT_EQ(eval.simulations(), 0u);
+  EXPECT_EQ(eval.cache_hits(), 0u);  // a store hit is not a cache hit
+
+  // Same epoch, same point: an ordinary cache hit now.
+  (void)eval.evaluate(warm_cfg);
+  EXPECT_EQ(eval.store_hits(), 1u);
+  EXPECT_EQ(eval.cache_hits(), 1u);
+
+  // A genuinely fresh point is a simulation, as always.
+  (void)eval.evaluate(cold_cfg);
+  EXPECT_EQ(eval.simulations(), 1u);
+
+  // Next epoch: the formerly-preloaded point re-counts as a simulation,
+  // exactly like a point the evaluator simulated itself.
+  eval.reset_counters();
+  EXPECT_EQ(eval.store_hits(), 0u);
+  (void)eval.evaluate(warm_cfg);
+  EXPECT_EQ(eval.simulations(), 1u);
+  EXPECT_EQ(eval.store_hits(), 0u);
+}
+
+TEST(EvaluatorPreload, StoreSinkSeesOnlyFreshSimulations) {
+  const check::ScenarioSpec spec = small_spec();
+  const std::vector<model::NetworkConfig> configs =
+      spec.scenario.feasible_configs();
+  ASSERT_GE(configs.size(), 2u);
+
+  dse::Evaluator oracle(spec.settings);
+  const dse::Evaluation truth = oracle.simulate_uncached(configs[0]);
+
+  dse::Evaluator eval(spec.settings);
+  ASSERT_TRUE(eval.preload(configs[0], truth));
+  std::vector<std::uint64_t> announced;
+  eval.set_store_sink(
+      [&](const model::NetworkConfig& cfg, const dse::Evaluation&) {
+        announced.push_back(cfg.design_key());
+      });
+  (void)eval.evaluate(configs[0]);  // preloaded: not announced
+  (void)eval.evaluate(configs[1]);  // fresh: announced once
+  (void)eval.evaluate(configs[1]);  // cache hit: not re-announced
+  ASSERT_EQ(announced.size(), 1u);
+  EXPECT_EQ(announced[0], configs[1].design_key());
+}
+
+TEST(StoreWarmStart, DeterminismPropertySerial) {
+  EXPECT_EQ(check::check_warm_start_determinism(
+                small_spec(), "warmstart_serial.store", /*threads=*/0),
+            std::vector<std::string>{});
+  std::remove("warmstart_serial.store");
+}
+
+TEST(StoreWarmStart, DeterminismPropertyThreaded) {
+  EXPECT_EQ(check::check_warm_start_determinism(
+                small_spec(), "warmstart_threaded.store", /*threads=*/2),
+            std::vector<std::string>{});
+  std::remove("warmstart_threaded.store");
+}
+
+TEST(StoreWarmStart, ColdRunAtOneSpecWarmsADifferentThreadCount) {
+  // The store is thread-count-agnostic: populate serial, warm a
+  // 3-thread run — still zero fresh simulations.
+  const check::ScenarioSpec spec = small_spec();
+  const std::string path = "warmstart_cross.store";
+  std::remove(path.c_str());
+  dse::ExplorationOptions opt;
+  opt.pdr_min = 0.8;
+  std::uint64_t cold_sims = 0;
+  {
+    store::EvalStore st(path, {});
+    dse::Evaluator eval(spec.settings);
+    (void)store::warm_start(eval, st);
+    cold_sims = dse::run_algorithm1(spec.scenario, eval, opt).simulations;
+  }
+  {
+    store::EvalStore st(path, {});
+    dse::Evaluator eval(spec.settings);
+    const store::WarmStartStats ws = store::warm_start(eval, st);
+    EXPECT_EQ(ws.preloaded, cold_sims);
+    opt.threads = 3;
+    const dse::ExplorationResult warm =
+        dse::run_algorithm1(spec.scenario, eval, opt);
+    EXPECT_EQ(warm.simulations, 0u);
+    EXPECT_EQ(warm.metrics.counter("dse.store_hits"), cold_sims);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(StoreWarmStart, MismatchedSettingsShareNothing) {
+  const check::ScenarioSpec spec = small_spec();
+  const std::string path = "warmstart_mismatch.store";
+  std::remove(path.c_str());
+  {
+    store::EvalStore st(path, {});
+    dse::Evaluator eval(spec.settings);
+    (void)store::warm_start(eval, st);
+    dse::ExplorationOptions opt;
+    opt.pdr_min = 0.8;
+    (void)dse::run_algorithm1(spec.scenario, eval, opt);
+    EXPECT_GT(st.eval_count(), 0u);
+  }
+  {
+    store::EvalStore st(path, {});
+    dse::EvaluatorSettings other = spec.settings;
+    other.sim.seed += 1;  // a different experiment
+    dse::Evaluator eval(other);
+    const store::WarmStartStats ws = store::warm_start(eval, st);
+    EXPECT_EQ(ws.preloaded, 0u);  // fingerprints differ: nothing leaks
+  }
+  std::remove(path.c_str());
+}
+
+}  // namespace

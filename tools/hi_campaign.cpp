@@ -1,0 +1,403 @@
+// hi_campaign — the resumable multi-scenario campaign runner.
+//
+// Fans a grid of (scenario × PDRmin) cells through one explorer, sharing
+// a single durable hi::store::EvalStore across all of them: every cell's
+// evaluator is warm-started from the store (results other cells — or
+// previous runs — already paid for are served as dse.store_hits, not
+// re-simulated), every fresh simulation is written through as it
+// happens, and every finished cell is checkpointed with an fsync.  Kill
+// the process at any point and `--resume` picks up where it left off:
+// checkpointed cells are skipped outright (zero re-simulation) and
+// interrupted cells replay from the stored evaluations.
+//
+//   hi_campaign --store FILE [options]        run a campaign
+//   hi_campaign --audit FILE                  integrity-scan a store
+//   hi_campaign --compact FILE                rewrite a store, dropping
+//                                             superseded/corrupt records
+//   hi_campaign --dump-scenario               print the paper's Sec. 4.1
+//                                             scenario as editable JSON
+//
+// Scenarios come from JSON files (--scenario, the scenario_to_json
+// interchange form) and/or the hi::check generator (--gen-seed); with
+// neither, the paper's Sec. 4.1 scenario is the grid's single row.
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "check/scenario_gen.hpp"
+#include "dse/explorer.hpp"
+#include "model/design_space.hpp"
+#include "obs/metrics.hpp"
+#include "store/serialize.hpp"
+#include "store/store.hpp"
+
+namespace {
+
+using hi::store::Digest;
+
+struct ScenarioEntry {
+  std::string name;
+  hi::model::Scenario scenario;
+  hi::dse::EvaluatorSettings settings;
+};
+
+struct Options {
+  std::string store_path;
+  std::vector<std::string> scenario_files;
+  std::vector<std::uint64_t> gen_seeds;
+  std::vector<double> pdr_grid{0.5, 0.7, 0.9};
+  hi::dse::ExplorerKind explorer = hi::dse::ExplorerKind::kAlgorithm1;
+  int budget = -1;
+  int threads = 0;
+  double tsim_s = 600.0;
+  int runs = 3;
+  std::uint64_t seed = 1;
+  hi::store::FsyncPolicy fsync = hi::store::FsyncPolicy::kCheckpoint;
+  bool resume = false;
+  bool json = false;
+  int cell_delay_ms = 0;  ///< test hook: widen the window between cells
+};
+
+bool parse_u64(const char* s, std::uint64_t& out) {
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s, &end, 10);
+  if (end == s || *end != '\0') return false;
+  out = v;
+  return true;
+}
+
+bool parse_f64(const char* s, double& out) {
+  char* end = nullptr;
+  const double v = std::strtod(s, &end);
+  if (end == s || *end != '\0') return false;
+  out = v;
+  return true;
+}
+
+bool parse_pdr_grid(const std::string& list, std::vector<double>& out) {
+  out.clear();
+  std::stringstream ss(list);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    double v = 0.0;
+    if (!parse_f64(item.c_str(), v) || v < 0.0 || v > 1.0) return false;
+    out.push_back(v);
+  }
+  return !out.empty();
+}
+
+int usage(const char* argv0) {
+  std::cerr
+      << "usage: " << argv0 << " --store FILE [options]\n"
+      << "       " << argv0 << " --audit FILE | --compact FILE\n"
+      << "       " << argv0 << " --dump-scenario\n"
+      << "\n"
+      << "campaign options:\n"
+      << "  --scenario FILE   scenario JSON (repeatable; see --dump-scenario)\n"
+      << "  --gen-seed N      generated check scenario (repeatable)\n"
+      << "  --pdr-min LIST    comma-separated PDRmin grid (default "
+         "0.5,0.7,0.9)\n"
+      << "  --explorer NAME   alg1 | exhaustive | annealing (default alg1)\n"
+      << "  --budget N        explorer iteration budget (default: strategy's)\n"
+      << "  --threads N       worker threads per cell (default 0 = serial)\n"
+      << "  --tsim SEC        Tsim for JSON scenarios (default 600)\n"
+      << "  --runs N          replications per design point (default 3)\n"
+      << "  --seed N          experiment seed root (default 1)\n"
+      << "  --fsync MODE      none | checkpoint | always (default checkpoint)\n"
+      << "  --resume          skip cells already checkpointed in the store\n"
+      << "  --json            machine-readable report on stdout\n"
+      << "  --cell-delay-ms N sleep after each completed cell (test hook)\n";
+  return 2;
+}
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\u%04x", c);
+      out += buf;
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+/// One row of the final report.
+struct CellReport {
+  std::string scenario;
+  double pdr_min = 0.0;
+  bool skipped = false;  ///< served from a --resume checkpoint
+  hi::store::CellResult result;
+  std::uint64_t store_hits = 0;  ///< store-served points (0 when skipped)
+};
+
+void print_report(const Options& opt, const hi::store::EvalStore& store,
+                  const std::vector<CellReport>& cells) {
+  std::uint64_t total_sims = 0;
+  std::uint64_t total_store_hits = 0;
+  std::size_t skipped = 0;
+  for (const CellReport& c : cells) {
+    total_sims += c.skipped ? 0 : c.result.simulations;
+    total_store_hits += c.store_hits;
+    skipped += c.skipped ? 1 : 0;
+  }
+  if (opt.json) {
+    std::ostream& os = std::cout;
+    os << "{\n  \"store\": \"" << json_escape(store.path()) << "\",\n"
+       << "  \"recovery\": {\"records\": " << store.recovery().records
+       << ", \"corrupt_dropped\": " << store.recovery().corrupt_dropped
+       << ", \"tail_truncated\": "
+       << (store.recovery().tail_truncated ? "true" : "false") << "},\n"
+       << "  \"cells\": [\n";
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      const CellReport& c = cells[i];
+      os << "    {\"scenario\": \"" << json_escape(c.scenario)
+         << "\", \"pdr_min\": " << c.pdr_min
+         << ", \"skipped\": " << (c.skipped ? "true" : "false")
+         << ", \"feasible\": " << (c.result.feasible ? "true" : "false")
+         << ", \"best\": \"" << json_escape(c.result.best.label())
+         << "\", \"best_power_mw\": " << c.result.best_power_mw
+         << ", \"best_pdr\": " << c.result.best_pdr
+         << ", \"simulations\": " << c.result.simulations
+         << ", \"store_hits\": " << c.store_hits << "}"
+         << (i + 1 < cells.size() ? "," : "") << "\n";
+    }
+    os << "  ],\n"
+       << "  \"totals\": {\"cells\": " << cells.size()
+       << ", \"skipped\": " << skipped
+       << ", \"fresh_simulations\": " << total_sims
+       << ", \"store_hits\": " << total_store_hits
+       << ", \"stored_evals\": " << store.eval_count()
+       << ", \"stored_cells\": " << store.cell_count() << "}\n}\n";
+    return;
+  }
+  for (const CellReport& c : cells) {
+    std::cout << c.scenario << " @ PDRmin=" << c.pdr_min << ": ";
+    if (c.skipped) {
+      std::cout << "checkpointed (skipped), ";
+    }
+    if (c.result.feasible) {
+      std::cout << c.result.best.label() << "  P=" << c.result.best_power_mw
+                << " mW  PDR=" << c.result.best_pdr;
+    } else {
+      std::cout << "infeasible";
+    }
+    std::cout << "  [sims=" << c.result.simulations
+              << " store_hits=" << c.store_hits << "]\n";
+  }
+  std::cout << "campaign: " << cells.size() << " cells (" << skipped
+            << " resumed), " << total_sims << " fresh simulations, "
+            << total_store_hits << " store hits; store holds "
+            << store.eval_count() << " evaluations / " << store.cell_count()
+            << " cell checkpoints\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  std::string audit_path;
+  std::string compact_path;
+  bool dump_scenario = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    std::uint64_t u = 0;
+    const bool has_value = i + 1 < argc;
+    if (arg == "--store" && has_value) {
+      opt.store_path = argv[++i];
+    } else if (arg == "--audit" && has_value) {
+      audit_path = argv[++i];
+    } else if (arg == "--compact" && has_value) {
+      compact_path = argv[++i];
+    } else if (arg == "--dump-scenario") {
+      dump_scenario = true;
+    } else if (arg == "--scenario" && has_value) {
+      opt.scenario_files.emplace_back(argv[++i]);
+    } else if (arg == "--gen-seed" && has_value && parse_u64(argv[++i], u)) {
+      opt.gen_seeds.push_back(u);
+    } else if (arg == "--pdr-min" && has_value &&
+               parse_pdr_grid(argv[i + 1], opt.pdr_grid)) {
+      ++i;
+    } else if (arg == "--explorer" && has_value) {
+      const std::string name = argv[++i];
+      if (name == "alg1") {
+        opt.explorer = hi::dse::ExplorerKind::kAlgorithm1;
+      } else if (name == "exhaustive") {
+        opt.explorer = hi::dse::ExplorerKind::kExhaustive;
+      } else if (name == "annealing") {
+        opt.explorer = hi::dse::ExplorerKind::kAnnealing;
+      } else {
+        return usage(argv[0]);
+      }
+    } else if (arg == "--budget" && has_value && parse_u64(argv[++i], u)) {
+      opt.budget = static_cast<int>(u);
+    } else if (arg == "--threads" && has_value && parse_u64(argv[++i], u)) {
+      opt.threads = static_cast<int>(u);
+    } else if (arg == "--tsim" && has_value &&
+               parse_f64(argv[i + 1], opt.tsim_s)) {
+      ++i;
+    } else if (arg == "--runs" && has_value && parse_u64(argv[++i], u)) {
+      opt.runs = static_cast<int>(u);
+    } else if (arg == "--seed" && has_value && parse_u64(argv[++i], u)) {
+      opt.seed = u;
+    } else if (arg == "--fsync" && has_value) {
+      const std::string mode = argv[++i];
+      if (mode == "none") {
+        opt.fsync = hi::store::FsyncPolicy::kNone;
+      } else if (mode == "checkpoint") {
+        opt.fsync = hi::store::FsyncPolicy::kCheckpoint;
+      } else if (mode == "always") {
+        opt.fsync = hi::store::FsyncPolicy::kAlways;
+      } else {
+        return usage(argv[0]);
+      }
+    } else if (arg == "--resume") {
+      opt.resume = true;
+    } else if (arg == "--json") {
+      opt.json = true;
+    } else if (arg == "--cell-delay-ms" && has_value &&
+               parse_u64(argv[++i], u)) {
+      opt.cell_delay_ms = static_cast<int>(u);
+    } else {
+      return usage(argv[0]);
+    }
+  }
+
+  if (dump_scenario) {
+    std::cout << hi::store::scenario_to_json(hi::model::Scenario{});
+    return 0;
+  }
+  if (!audit_path.empty()) {
+    const hi::store::RecoveryStats st = hi::store::EvalStore::audit(audit_path);
+    std::cout << "records=" << st.records
+              << " corrupt_dropped=" << st.corrupt_dropped
+              << " tail_truncated=" << (st.tail_truncated ? "yes" : "no")
+              << " desynced=" << (st.desynced ? "yes" : "no")
+              << " truncated_bytes=" << st.truncated_bytes
+              << (st.clean() ? "  [clean]" : "  [repaired on next open]")
+              << "\n";
+    return st.clean() ? 0 : 1;
+  }
+  if (!compact_path.empty()) {
+    const auto st = hi::store::EvalStore::compact(compact_path);
+    std::cout << "compacted: " << st.records_before << " -> "
+              << st.records_after << " records, " << st.bytes_before << " -> "
+              << st.bytes_after << " bytes\n";
+    return 0;
+  }
+  if (opt.store_path.empty()) {
+    return usage(argv[0]);
+  }
+
+  // Assemble the scenario rows.
+  std::vector<ScenarioEntry> rows;
+  hi::dse::EvaluatorSettings base;
+  base.sim.duration_s = opt.tsim_s;
+  base.sim.seed = opt.seed;
+  base.runs = opt.runs;
+  for (const std::string& file : opt.scenario_files) {
+    std::ifstream in(file);
+    if (!in) {
+      std::cerr << "error: cannot open scenario file '" << file << "'\n";
+      return 2;
+    }
+    std::stringstream buf;
+    buf << in.rdbuf();
+    std::string err;
+    const auto sc = hi::store::scenario_from_json(buf.str(), &err);
+    if (!sc) {
+      std::cerr << "error: " << file << ": " << err << "\n";
+      return 2;
+    }
+    rows.push_back({file, *sc, base});
+  }
+  for (const std::uint64_t seed : opt.gen_seeds) {
+    hi::check::ScenarioSpec spec = hi::check::make_scenario(seed);
+    rows.push_back({"gen-" + std::to_string(seed), spec.scenario,
+                    std::move(spec.settings)});
+  }
+  if (rows.empty()) {
+    rows.push_back({"paper-4.1", hi::model::Scenario{}, base});
+  }
+
+  hi::obs::MetricsRegistry metrics;
+  hi::store::StoreOptions store_opt;
+  store_opt.fsync = opt.fsync;
+  store_opt.metrics = &metrics;
+  hi::store::EvalStore store(opt.store_path, store_opt);
+  if (!store.recovery().clean() && !opt.json) {
+    std::cout << "store recovery: dropped "
+              << store.recovery().corrupt_dropped << " corrupt record(s), "
+              << "truncated " << store.recovery().truncated_bytes
+              << " trailing byte(s)\n";
+  }
+
+  const hi::dse::Explorer explorer = [&] {
+    switch (opt.explorer) {
+      case hi::dse::ExplorerKind::kExhaustive:
+        return hi::dse::Explorer::exhaustive();
+      case hi::dse::ExplorerKind::kAnnealing:
+        return hi::dse::Explorer::annealing();
+      case hi::dse::ExplorerKind::kAlgorithm1:
+        break;
+    }
+    return hi::dse::Explorer::algorithm1();
+  }();
+
+  std::vector<CellReport> cells;
+  for (const ScenarioEntry& row : rows) {
+    const Digest scenario_fp = hi::store::scenario_fingerprint(row.scenario);
+    hi::dse::Evaluator eval(row.settings);
+    const hi::store::WarmStartStats warm = hi::store::warm_start(eval, store);
+    for (const double pdr_min : opt.pdr_grid) {
+      hi::dse::ExplorationOptions run_opt;
+      run_opt.pdr_min = pdr_min;
+      run_opt.budget = opt.budget;
+      run_opt.threads = opt.threads;
+      run_opt.metrics = &metrics;
+      const hi::store::CellKey key{
+          scenario_fp, warm.settings_fp,
+          hi::store::options_fingerprint(run_opt, opt.explorer), pdr_min};
+      CellReport report;
+      report.scenario = row.name;
+      report.pdr_min = pdr_min;
+      if (opt.resume) {
+        if (const auto done = store.find_cell(key)) {
+          report.skipped = true;
+          report.result = *done;
+          cells.push_back(std::move(report));
+          continue;
+        }
+      }
+      const hi::dse::ExplorationResult res =
+          explorer.run(row.scenario, eval, run_opt);
+      report.result.feasible = res.feasible;
+      report.result.best = res.best;
+      report.result.best_power_mw = res.best_power_mw;
+      report.result.best_pdr = res.best_pdr;
+      report.result.best_nlt_s = res.best_nlt_s;
+      report.result.simulations = res.simulations;
+      report.result.iterations = res.iterations;
+      report.store_hits = res.metrics.counter("dse.store_hits");
+      store.put_cell(key, report.result);  // fsynced checkpoint
+      cells.push_back(std::move(report));
+      if (opt.cell_delay_ms > 0) {
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(opt.cell_delay_ms));
+      }
+    }
+  }
+  print_report(opt, store, cells);
+  return 0;
+}
