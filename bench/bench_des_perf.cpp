@@ -1,9 +1,19 @@
-// Microbenchmarks of the discrete-event simulator (google-benchmark):
-// kernel event throughput and end-to-end WBAN simulation speed per
-// configuration class.  These numbers bound how large a Tsim / design
-// space the explorer can afford.
-#include <benchmark/benchmark.h>
+// Microbenchmarks of the discrete-event simulator: kernel event
+// throughput (schedule/run, self-rescheduling, cancellation churn),
+// end-to-end WBAN simulation speed per configuration class on the paper
+// scenario, and channel sampling cost.  These numbers bound how large a
+// Tsim / design space the explorer can afford; the committed baseline
+// (BENCH_des_perf.json) is the repo's perf trajectory for the hot path
+// (DESIGN.md §11).
+//
+// Emits the "hi-bench/v1" JSON report on stdout; progress on stderr.
+// All rate metrics are intensive (per-second), so HI_BENCH_QUICK runs
+// remain comparable to full baselines within the wider quick tolerance.
+#include <cstdint>
+#include <iostream>
+#include <vector>
 
+#include "bench_util.hpp"
 #include "channel/channel.hpp"
 #include "des/kernel.hpp"
 #include "model/design_space.hpp"
@@ -13,76 +23,136 @@ namespace {
 
 using namespace hi;
 
-void BM_KernelScheduleRun(benchmark::State& state) {
-  const int n = static_cast<int>(state.range(0));
-  for (auto _ : state) {
+volatile std::uint64_t g_sink = 0;  ///< defeats dead-code elimination
+
+/// Schedule n events at pseudo-random times, then drain the heap.
+void kernel_schedule_run(bench::BenchReport& rep, int reps, std::int64_t n) {
+  std::uint64_t fired = 0;
+  const double wall = bench::time_best_of(reps, [&] {
     des::Kernel k;
-    int fired = 0;
-    for (int i = 0; i < n; ++i) {
+    fired = 0;
+    for (std::int64_t i = 0; i < n; ++i) {
+      // 64-bit arithmetic: i * 48271 overflows int near n = 50k.
       k.schedule_at(static_cast<double>((i * 48271) % n),
                     [&fired] { ++fired; });
     }
     k.run_to_completion();
-    benchmark::DoNotOptimize(fired);
-  }
-  state.SetItemsProcessed(state.iterations() * n);
+  });
+  g_sink = g_sink + fired;
+  rep.add_rate("kernel_schedule_run", "events/s",
+               static_cast<std::uint64_t>(n), wall);
 }
-BENCHMARK(BM_KernelScheduleRun)->Arg(1'000)->Arg(100'000);
 
-void BM_KernelSelfRescheduling(benchmark::State& state) {
-  for (auto _ : state) {
+/// One event alive at a time, rescheduling itself: the latency floor.
+void kernel_self_resched(bench::BenchReport& rep, int reps, int ticks) {
+  int count = 0;
+  const double wall = bench::time_best_of(reps, [&] {
     des::Kernel k;
-    int count = 0;
-    std::function<void()> tick = [&] {
-      if (++count < 10'000) k.schedule_in(0.001, tick);
+    count = 0;
+    struct Tick {
+      des::Kernel* k;
+      int* count;
+      int limit;
+      void operator()() const {
+        if (++*count < limit) k->schedule_in(0.001, *this);
+      }
     };
-    k.schedule_in(0.001, tick);
+    k.schedule_in(0.001, Tick{&k, &count, ticks});
     k.run_to_completion();
-    benchmark::DoNotOptimize(count);
-  }
-  state.SetItemsProcessed(state.iterations() * 10'000);
+  });
+  g_sink = g_sink + static_cast<std::uint64_t>(count);
+  rep.add_rate("kernel_self_resched", "events/s",
+               static_cast<std::uint64_t>(ticks), wall);
 }
-BENCHMARK(BM_KernelSelfRescheduling);
 
-void BM_Simulate(benchmark::State& state) {
-  const bool mesh = state.range(0) != 0;
-  const bool tdma = state.range(1) != 0;
+/// Schedule n, cancel every other one, drain: exercises the indexed
+/// heap's O(log n) in-place removal.
+void kernel_cancel_churn(bench::BenchReport& rep, int reps, std::int64_t n) {
+  std::uint64_t fired = 0;
+  std::vector<des::EventId> ids;
+  ids.reserve(static_cast<std::size_t>(n));
+  const double wall = bench::time_best_of(reps, [&] {
+    des::Kernel k;
+    ids.clear();
+    fired = 0;
+    for (std::int64_t i = 0; i < n; ++i) {
+      ids.push_back(k.schedule_at(static_cast<double>((i * 48271) % n),
+                                  [&fired] { ++fired; }));
+    }
+    for (std::int64_t i = 0; i < n; i += 2) {
+      k.cancel(ids[static_cast<std::size_t>(i)]);
+    }
+    k.run_to_completion();
+  });
+  g_sink = g_sink + fired;
+  // Ops = schedules + cancels + dispatches.
+  rep.add_rate("kernel_cancel_churn", "ops/s",
+               static_cast<std::uint64_t>(n + n / 2 + n / 2), wall);
+}
+
+/// End-to-end simulation throughput on the paper scenario (N=5,
+/// locations {chest, l-hip, l-ankle, l-wrist, l-upper-arm}, Tx level 2).
+void simulate_class(bench::BenchReport& rep, int reps, bool mesh, bool tdma,
+                    double tsim_s) {
   const model::Scenario scenario;
   const auto cfg = scenario.make_config(
       model::Topology::from_locations({0, 1, 3, 5, 7}), 2,
       tdma ? model::MacProtocol::kTdma : model::MacProtocol::kCsma,
       mesh ? model::RoutingProtocol::kMesh : model::RoutingProtocol::kStar);
   net::SimParams sp;
-  sp.duration_s = 60.0;
+  sp.duration_s = tsim_s;
   std::uint64_t events = 0;
-  for (auto _ : state) {
+  const double wall = bench::time_best_of(reps, [&] {
     auto channel = channel::make_default_body_channel(11);
     const net::SimResult r = net::simulate(cfg, *channel, sp);
-    events += r.events;
-    benchmark::DoNotOptimize(r.pdr);
-  }
-  state.SetItemsProcessed(static_cast<std::int64_t>(events));
-  state.SetLabel(std::string(mesh ? "mesh" : "star") + "/" +
-                 (tdma ? "TDMA" : "CSMA") + " N=5, 60 s sim");
+    events = r.events;
+  });
+  g_sink = g_sink + events;
+  const std::string name = std::string("sim_") + (mesh ? "mesh" : "star") +
+                           "_" + (tdma ? "tdma" : "csma");
+  rep.add_rate(name, "events/s", events, wall);
 }
-BENCHMARK(BM_Simulate)
-    ->Args({0, 0})
-    ->Args({0, 1})
-    ->Args({1, 0})
-    ->Args({1, 1});
 
-void BM_ChannelSample(benchmark::State& state) {
+void channel_sample(bench::BenchReport& rep, int reps, std::int64_t n) {
   auto ch = channel::make_default_body_channel(3);
-  double t = 0.0;
   double acc = 0.0;
-  for (auto _ : state) {
-    t += 0.01;
-    acc += ch->path_loss_db(0, 3, t);
-  }
-  benchmark::DoNotOptimize(acc);
+  double t = 0.0;
+  const double wall = bench::time_best_of(reps, [&] {
+    for (std::int64_t i = 0; i < n; ++i) {
+      t += 0.01;
+      acc += ch->path_loss_db(0, 3, t);
+    }
+  });
+  g_sink = g_sink + static_cast<std::uint64_t>(acc);
+  rep.add_rate("channel_sample", "samples/s", static_cast<std::uint64_t>(n),
+               wall);
 }
-BENCHMARK(BM_ChannelSample);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main() {
+  const bool quick = bench::quick_mode();
+  const int reps = quick ? 2 : 3;
+  dse::EvaluatorSettings s = bench::experiment_settings();
+  // The simulate metrics use a fixed per-run duration so the committed
+  // baseline is comparable across machines/settings; quick mode shrinks
+  // it (events/s barely moves — the startup transient is tiny).
+  const double tsim_s = quick ? 10.0 : 60.0;
+  s.sim.duration_s = tsim_s;
+
+  std::cerr << "bench_des_perf: " << (quick ? "quick" : "full")
+            << " (JSON on stdout)\n";
+
+  bench::BenchReport rep("des_perf", s);
+  kernel_schedule_run(rep, reps, quick ? 20'000 : 100'000);
+  kernel_self_resched(rep, reps, quick ? 2'000 : 10'000);
+  kernel_cancel_churn(rep, reps, quick ? 10'000 : 50'000);
+  simulate_class(rep, reps, /*mesh=*/false, /*tdma=*/false, tsim_s);
+  simulate_class(rep, reps, /*mesh=*/false, /*tdma=*/true, tsim_s);
+  simulate_class(rep, reps, /*mesh=*/true, /*tdma=*/false, tsim_s);
+  simulate_class(rep, reps, /*mesh=*/true, /*tdma=*/true, tsim_s);
+  channel_sample(rep, reps, quick ? 200'000 : 1'000'000);
+
+  rep.write(std::cout);
+  return 0;
+}

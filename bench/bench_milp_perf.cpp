@@ -1,10 +1,19 @@
-// Microbenchmarks of the optimization stack (google-benchmark): dense
-// simplex solves, branch-and-bound, alternative-optimum enumeration, and
-// the full DSE MILP round.  These are the knobs that decide whether the
-// MILP half of Algorithm 1 is negligible next to the simulations (it
-// must be — in the paper CPLEX solves are instant next to Castalia).
-#include <benchmark/benchmark.h>
+// Microbenchmarks of the optimization stack: dense simplex solves,
+// branch-and-bound, alternative-optimum enumeration, and the full DSE
+// MILP round.  These are the knobs that decide whether the MILP half of
+// Algorithm 1 is negligible next to the simulations (it must be — in
+// the paper CPLEX solves are instant next to Castalia).  Committed
+// baseline: BENCH_milp_perf.json (DESIGN.md §11).
+//
+// Emits the "hi-bench/v1" JSON report on stdout; progress on stderr.
+// All rate metrics are intensive, so HI_BENCH_QUICK runs remain
+// comparable to full baselines within the wider quick tolerance.
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
 
+#include "bench_util.hpp"
 #include "common/rng.hpp"
 #include "dse/milp_encoding.hpp"
 #include "lp/simplex.hpp"
@@ -15,7 +24,9 @@ namespace {
 
 using namespace hi;
 
-/// Random dense-ish LP with n variables and m <= rows.
+volatile std::uint64_t g_sink = 0;  ///< defeats dead-code elimination
+
+/// Random dense-ish LP with n variables and m rows.
 lp::Problem random_lp(int n, int m, std::uint64_t seed) {
   Rng rng(seed);
   lp::Problem p;
@@ -33,17 +44,18 @@ lp::Problem random_lp(int n, int m, std::uint64_t seed) {
   return p;
 }
 
-void BM_SimplexSolve(benchmark::State& state) {
-  const int n = static_cast<int>(state.range(0));
+void simplex_solve(bench::BenchReport& rep, int reps, int n, int solves) {
   const lp::Problem p = random_lp(n, n, 42);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(lp::solve_simplex(p));
-  }
+  const double wall = bench::time_best_of(reps, [&] {
+    for (int i = 0; i < solves; ++i) {
+      g_sink = g_sink + static_cast<std::uint64_t>(lp::solve_simplex(p).status);
+    }
+  });
+  rep.add_rate("simplex_solve_n" + std::to_string(n), "solves/s",
+               static_cast<std::uint64_t>(solves), wall);
 }
-BENCHMARK(BM_SimplexSolve)->Arg(10)->Arg(40)->Arg(80);
 
-void BM_MilpKnapsack(benchmark::State& state) {
-  const int n = static_cast<int>(state.range(0));
+void milp_knapsack(bench::BenchReport& rep, int reps, int n, int solves) {
   Rng rng(7);
   milp::Model m;
   m.set_objective(lp::Objective::kMaximize);
@@ -53,15 +65,17 @@ void BM_MilpKnapsack(benchmark::State& state) {
     row.push_back({j, rng.uniform(1.0, 10.0)});
   }
   m.add_constraint(row, lp::Sense::kLessEqual, 2.5 * n);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(milp::solve(m));
-  }
+  const double wall = bench::time_best_of(reps, [&] {
+    for (int i = 0; i < solves; ++i) {
+      g_sink = g_sink + static_cast<std::uint64_t>(milp::solve(m).status);
+    }
+  });
+  rep.add_rate("milp_knapsack_n" + std::to_string(n), "solves/s",
+               static_cast<std::uint64_t>(solves), wall);
 }
-BENCHMARK(BM_MilpKnapsack)->Arg(10)->Arg(20);
 
-void BM_MilpPoolEnumeration(benchmark::State& state) {
+void milp_pool(bench::BenchReport& rep, int reps, int k, int solves) {
   // k interchangeable binaries, pick exactly 2: C(k,2) alternative optima.
-  const int k = static_cast<int>(state.range(0));
   milp::Model m;
   std::vector<lp::Term> sum;
   for (int j = 0; j < k; ++j) {
@@ -69,37 +83,65 @@ void BM_MilpPoolEnumeration(benchmark::State& state) {
     sum.push_back({j, 1.0});
   }
   m.add_constraint(sum, lp::Sense::kEqual, 2.0);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(milp::solve_all_optimal(m));
-  }
-}
-BENCHMARK(BM_MilpPoolEnumeration)->Arg(6)->Arg(10);
-
-void BM_DseMilpRound(benchmark::State& state) {
-  const model::Scenario scenario;
-  for (auto _ : state) {
-    dse::MilpEncoding enc(scenario);
-    benchmark::DoNotOptimize(enc.run_milp());
-  }
-}
-BENCHMARK(BM_DseMilpRound);
-
-void BM_DseMilpAllLevels(benchmark::State& state) {
-  const model::Scenario scenario;
-  for (auto _ : state) {
-    dse::MilpEncoding enc(scenario);
-    int levels = 0;
-    for (;;) {
-      const dse::MilpRound r = enc.run_milp();
-      if (r.status != lp::Status::kOptimal) break;
-      ++levels;
-      enc.add_power_cut_above(r.power_mw);
+  const double wall = bench::time_best_of(reps, [&] {
+    for (int i = 0; i < solves; ++i) {
+      g_sink = g_sink + milp::solve_all_optimal(m).solutions.size();
     }
-    benchmark::DoNotOptimize(levels);
-  }
+  });
+  rep.add_rate("milp_pool_k" + std::to_string(k), "enumerations/s",
+               static_cast<std::uint64_t>(solves), wall);
 }
-BENCHMARK(BM_DseMilpAllLevels);
+
+void dse_milp_round(bench::BenchReport& rep, int reps, int rounds) {
+  const model::Scenario scenario;
+  const double wall = bench::time_best_of(reps, [&] {
+    for (int i = 0; i < rounds; ++i) {
+      dse::MilpEncoding enc(scenario);
+      g_sink = g_sink + enc.run_milp().candidates.size();
+    }
+  });
+  rep.add_rate("dse_milp_round", "rounds/s",
+               static_cast<std::uint64_t>(rounds), wall);
+}
+
+void dse_milp_all_levels(bench::BenchReport& rep, int reps, int sweeps) {
+  const model::Scenario scenario;
+  const double wall = bench::time_best_of(reps, [&] {
+    for (int i = 0; i < sweeps; ++i) {
+      dse::MilpEncoding enc(scenario);
+      for (;;) {
+        const dse::MilpRound r = enc.run_milp();
+        if (r.status != lp::Status::kOptimal) break;
+        g_sink = g_sink + 1;
+        enc.add_power_cut_above(r.power_mw);
+      }
+    }
+  });
+  rep.add_rate("dse_milp_all_levels", "sweeps/s",
+               static_cast<std::uint64_t>(sweeps), wall);
+}
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main() {
+  const bool quick = bench::quick_mode();
+  const int reps = quick ? 2 : 3;
+  const int scale = quick ? 4 : 1;  // divide iteration counts by this
+
+  std::cerr << "bench_milp_perf: " << (quick ? "quick" : "full")
+            << " (JSON on stdout)\n";
+
+  bench::BenchReport rep("milp_perf", bench::experiment_settings());
+  simplex_solve(rep, reps, 10, 400 / scale);
+  simplex_solve(rep, reps, 40, 40 / scale);
+  simplex_solve(rep, reps, 80, 12 / scale);
+  milp_knapsack(rep, reps, 10, 40 / scale);
+  milp_knapsack(rep, reps, 20, 4 / scale);
+  milp_pool(rep, reps, 6, 40 / scale);
+  milp_pool(rep, reps, 10, 8 / scale);
+  dse_milp_round(rep, reps, 20 / scale);
+  dse_milp_all_levels(rep, reps, 4 / scale);
+
+  rep.write(std::cout);
+  return 0;
+}

@@ -1,0 +1,88 @@
+#!/usr/bin/env bash
+# Canonical perf-benchmark runner and regression gate (DESIGN.md §11).
+#
+#   scripts/bench.sh          full run: rebuild, run the three perf
+#                             benches with pinned seeds, validate the
+#                             hi-bench/v1 schema, gate against the
+#                             committed BENCH_*.json baselines (>10%
+#                             regression on any gated metric fails),
+#                             then refresh the baselines in place.
+#   scripts/bench.sh --quick  CI smoke: scaled-down workloads
+#                             (HI_BENCH_QUICK=1), wider 40% tolerance,
+#                             reports written to a temp dir; committed
+#                             baselines are never touched.
+#
+# Environment: HI_BENCH_TOLERANCE overrides the gate tolerance.
+# Benches: bench_des_perf (DES kernel + end-to-end sim + channel),
+# bench_milp_perf (simplex / branch-and-bound / DSE MILP round),
+# bench_parallel_speedup (hi::exec thread sweep + determinism gate).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+quick=0
+if [[ "${1:-}" == "--quick" ]]; then
+  quick=1
+  shift
+fi
+
+tolerance="${HI_BENCH_TOLERANCE:-}"
+if [[ -z "${tolerance}" ]]; then
+  if [[ "${quick}" == 1 ]]; then tolerance=0.40; else tolerance=0.10; fi
+fi
+
+build_dir=build
+cmake -B "${build_dir}" -S . -DHI_BUILD_BENCH=ON >/dev/null
+cmake --build "${build_dir}" -j "$(nproc)" \
+      --target bench_des_perf bench_milp_perf bench_parallel_speedup
+
+if [[ "${quick}" == 1 ]]; then
+  out_dir="$(mktemp -d)"
+  trap 'rm -rf "${out_dir}"' EXIT
+  export HI_BENCH_QUICK=1
+  # Short thread sweep so the smoke run stays fast on small CI boxes.
+  parallel_env=(HI_TSIM=2 HI_THREADS_MAX=2)
+  echo "==> quick mode: reports in ${out_dir}, tolerance ${tolerance}"
+else
+  out_dir="$(mktemp -d)"
+  trap 'rm -rf "${out_dir}"' EXIT
+  # Pinned settings — the committed baselines' exact-gated metrics
+  # (simulation counts, best power) are only reproducible under these.
+  parallel_env=(HI_TSIM=5 HI_THREADS_MAX=2)
+  echo "==> full mode: tolerance ${tolerance}, baselines refreshed on pass"
+fi
+
+declare -A bench_env=(
+  [des_perf]=""
+  [milp_perf]=""
+  [parallel]="${parallel_env[*]}"
+)
+status=0
+for name in des_perf milp_perf parallel; do
+  bin="${build_dir}/bench/bench_${name}"
+  [[ "${name}" == parallel ]] && bin="${build_dir}/bench/bench_parallel_speedup"
+  new="${out_dir}/BENCH_${name}.json"
+  echo "==> running bench_${name}"
+  env ${bench_env[${name}]} "${bin}" > "${new}"
+  python3 scripts/bench_gate.py validate "${new}"
+  base="BENCH_${name}.json"
+  if [[ -f "${base}" ]]; then
+    if ! python3 scripts/bench_gate.py compare "${base}" "${new}" \
+         --tolerance "${tolerance}"; then
+      status=1
+      continue
+    fi
+  else
+    echo "==> no committed baseline ${base}; skipping gate"
+  fi
+  if [[ "${quick}" == 0 ]]; then
+    cp "${new}" "${base}"
+    echo "==> refreshed ${base}"
+  fi
+done
+
+if [[ "${status}" != 0 ]]; then
+  echo "==> bench gate FAILED (see bench_gate output above)" >&2
+  exit 1
+fi
+echo "==> all bench gates passed"

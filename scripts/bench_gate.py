@@ -1,0 +1,157 @@
+#!/usr/bin/env python3
+"""Schema validator and regression gate for hi-bench/v1 reports.
+
+Usage:
+  bench_gate.py validate FILE
+      Exit 0 iff FILE is a well-formed hi-bench/v1 document.
+  bench_gate.py compare BASE NEW [--tolerance T]
+      Exit 0 iff no gated metric in NEW regressed against BASE by more
+      than T (default 0.10).  A metric is gated when `gate` is true in
+      BOTH files — quick runs mark their non-comparable (extensive)
+      metrics gate=false, which exempts them here without loosening the
+      committed baseline.  Gate rules by `better`:
+        higher: fail if new < base * (1 - T)
+        lower:  fail if new > base * (1 + T)
+        exact:  fail unless new == base (bit-for-bit; deterministic
+                outputs such as simulation counts and optimizer results)
+      A gated baseline metric missing from NEW is a failure: renaming or
+      dropping a metric must be an explicit baseline update, not a
+      silent pass.
+
+Schema and workflow: DESIGN.md section 11; runner: scripts/bench.sh.
+Stdlib only — no third-party packages.
+"""
+
+import argparse
+import json
+import sys
+
+SCHEMA = "hi-bench/v1"
+BETTER = ("higher", "lower", "exact")
+
+
+def fail(msg):
+    print(f"bench_gate: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{path}: {e}")
+
+
+def check_schema(doc, path):
+    def need(cond, what):
+        if not cond:
+            fail(f"{path}: {what}")
+
+    need(isinstance(doc, dict), "top level is not an object")
+    need(doc.get("schema") == SCHEMA, f'"schema" must be "{SCHEMA}"')
+    need(isinstance(doc.get("bench"), str) and doc["bench"],
+         '"bench" must be a non-empty string')
+    need(isinstance(doc.get("quick"), bool), '"quick" must be a boolean')
+    settings = doc.get("settings")
+    need(isinstance(settings, dict), '"settings" must be an object')
+    for key in ("tsim_s", "runs", "seed"):
+        need(isinstance(settings.get(key), (int, float))
+             and not isinstance(settings.get(key), bool),
+             f'settings.{key} must be a number')
+    metrics = doc.get("metrics")
+    need(isinstance(metrics, list) and metrics,
+         '"metrics" must be a non-empty array')
+    seen = set()
+    for i, m in enumerate(metrics):
+        where = f"metrics[{i}]"
+        need(isinstance(m, dict), f"{where} is not an object")
+        name = m.get("name")
+        need(isinstance(name, str) and name,
+             f"{where}.name must be a non-empty string")
+        need(name not in seen, f"duplicate metric name {name!r}")
+        seen.add(name)
+        need(isinstance(m.get("unit"), str) and m["unit"],
+             f"{where}.unit must be a non-empty string")
+        need(isinstance(m.get("value"), (int, float))
+             and not isinstance(m.get("value"), bool),
+             f"{where}.value must be a number")
+        need(m.get("better") in BETTER,
+             f"{where}.better must be one of {BETTER}")
+        need(isinstance(m.get("gate"), bool),
+             f"{where}.gate must be a boolean")
+        need(isinstance(m.get("items"), int) and m["items"] >= 0,
+             f"{where}.items must be a non-negative integer")
+        need(isinstance(m.get("wall_s"), (int, float))
+             and not isinstance(m.get("wall_s"), bool) and m["wall_s"] >= 0,
+             f"{where}.wall_s must be a non-negative number")
+
+
+def cmd_validate(args):
+    doc = load(args.file)
+    check_schema(doc, args.file)
+    print(f"bench_gate: OK: {args.file} is valid {SCHEMA} "
+          f"({len(doc['metrics'])} metrics)")
+
+
+def cmd_compare(args):
+    base = load(args.base)
+    new = load(args.new)
+    check_schema(base, args.base)
+    check_schema(new, args.new)
+    if base["bench"] != new["bench"]:
+        fail(f'bench mismatch: {base["bench"]!r} vs {new["bench"]!r}')
+    tol = args.tolerance
+    new_by_name = {m["name"]: m for m in new["metrics"]}
+    failures = []
+    compared = 0
+    for bm in base["metrics"]:
+        if not bm["gate"]:
+            continue
+        nm = new_by_name.get(bm["name"])
+        if nm is None:
+            failures.append(f'{bm["name"]}: missing from {args.new}')
+            continue
+        if not nm["gate"]:  # quick run marked it non-comparable
+            continue
+        compared += 1
+        bv, nv = bm["value"], nm["value"]
+        if bm["better"] == "exact":
+            if nv != bv:
+                failures.append(
+                    f'{bm["name"]}: exact mismatch (base {bv!r}, new {nv!r})')
+        elif bm["better"] == "higher":
+            if nv < bv * (1.0 - tol):
+                failures.append(
+                    f'{bm["name"]}: regressed {bv:.6g} -> {nv:.6g} '
+                    f"({nv / bv - 1.0:+.1%}, tolerance -{tol:.0%})")
+        else:  # lower
+            if nv > bv * (1.0 + tol):
+                failures.append(
+                    f'{bm["name"]}: regressed {bv:.6g} -> {nv:.6g} '
+                    f"({nv / bv - 1.0:+.1%}, tolerance +{tol:.0%})")
+    for f in failures:
+        print(f"bench_gate: FAIL: {f}", file=sys.stderr)
+    if failures:
+        sys.exit(1)
+    print(f"bench_gate: OK: {new['bench']}: {compared} gated metrics "
+          f"within {tol:.0%} of {args.base}")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    sub = ap.add_subparsers(dest="cmd", required=True)
+    v = sub.add_parser("validate")
+    v.add_argument("file")
+    v.set_defaults(func=cmd_validate)
+    c = sub.add_parser("compare")
+    c.add_argument("base")
+    c.add_argument("new")
+    c.add_argument("--tolerance", type=float, default=0.10)
+    c.set_defaults(func=cmd_compare)
+    args = ap.parse_args()
+    args.func(args)
+
+
+if __name__ == "__main__":
+    main()

@@ -13,9 +13,16 @@
 # Build trees live in build-address/ and build-thread/ next to build/
 # (all three are gitignored); each is configured on first use and
 # reused afterwards.
+#
+# Also runs the cheap documentation-consistency check (docs_check.sh)
+# up front and the quick perf-regression smoke (bench.sh --quick, 40%
+# tolerance against the committed BENCH_*.json baselines) at the end.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
+
+echo "==> docs_check"
+./scripts/docs_check.sh
 
 extended=0
 if [[ "${1:-}" == "--extended" ]]; then
@@ -51,5 +58,10 @@ fuzz_dir="$(mktemp -d)"
 trap 'rm -rf "${fuzz_dir}"' EXIT
 ./build-address/tests/fuzz_store --seed 1 --scenarios 25 --trials 12 \
                                  --dir "${fuzz_dir}"
+
+# Perf-regression smoke: scaled-down benches gated at 40% against the
+# committed baselines (full-precision gate: scripts/bench.sh, 10%).
+echo "==> bench smoke (scripts/bench.sh --quick)"
+./scripts/bench.sh --quick
 
 echo "==> all sanitizer suites passed"

@@ -6,12 +6,34 @@
 
 namespace hi::channel {
 
+std::size_t BodyChannel::link_index(int i, int j) {
+  const auto [a, b] = std::minmax(i, j);
+  // Row-major upper triangle over n = kNumLocations points.
+  return static_cast<std::size_t>(a) * (2 * kNumLocations - a - 1) / 2 +
+         static_cast<std::size_t>(b - a - 1);
+}
+
 BodyChannel::BodyChannel(PathLossMatrix avg, BodyChannelParams params, Rng rng)
-    : avg_(std::move(avg)), params_(params), rng_(rng) {
+    : avg_(std::move(avg)), params_(params) {
   HI_REQUIRE(params_.sigma_base_db >= 0.0 && params_.sigma_per_m_db >= 0.0 &&
                  params_.sigma_max_db >= 0.0,
              "fade std-devs must be non-negative");
   HI_REQUIRE(params_.tau_s > 0.0, "tau must be positive");
+  // Eagerly build every link's fade.  Substream labels depend only on
+  // the pair and fork() is const, so the draw streams are identical to
+  // the historical create-on-first-sample scheme regardless of which
+  // links a run actually exercises.
+  links_.reserve(kNumLocations * (kNumLocations - 1) / 2);
+  for (int a = 0; a < kNumLocations; ++a) {
+    for (int b = a + 1; b < kNumLocations; ++b) {
+      GaussMarkovParams gm;
+      gm.sigma_db = link_sigma_db(a, b);
+      gm.tau_s = params_.tau_s;
+      const auto label =
+          static_cast<std::uint64_t>(a) * 64 + static_cast<std::uint64_t>(b);
+      links_.push_back(LinkState{avg_.db(a, b), {gm, rng.fork(label)}});
+    }
+  }
 }
 
 double BodyChannel::link_sigma_db(int i, int j) const {
@@ -24,19 +46,8 @@ double BodyChannel::path_loss_db(int i, int j, double t) {
   if (i == j) {
     return 0.0;
   }
-  const auto key = std::minmax(i, j);
-  auto it = fades_.find(key);
-  if (it == fades_.end()) {
-    GaussMarkovParams gm;
-    gm.sigma_db = link_sigma_db(i, j);
-    gm.tau_s = params_.tau_s;
-    // Label the substream by the pair so fade draws are stable under
-    // changes elsewhere in the simulation.
-    const auto label = static_cast<std::uint64_t>(key.first) * 64 +
-                       static_cast<std::uint64_t>(key.second);
-    it = fades_.emplace(key, GaussMarkovFade{gm, rng_.fork(label)}).first;
-  }
-  return avg_.db(i, j) + it->second.sample_db(t);
+  LinkState& link = links_[link_index(i, j)];
+  return link.base_db + link.fade.sample_db(t);
 }
 
 double BodyChannel::mean_path_loss_db(int i, int j) const {

@@ -4,9 +4,9 @@
 // Gauss-Markov fading per link).
 #pragma once
 
-#include <map>
 #include <memory>
 #include <utility>
+#include <vector>
 
 #include "channel/path_loss.hpp"
 #include "channel/temporal.hpp"
@@ -58,6 +58,15 @@ struct BodyChannelParams {
 
 /// Average matrix + per-link Gauss-Markov fading.  Links are symmetric:
 /// (i,j) and (j,i) share one fade process.
+///
+/// All kNumLocations·(kNumLocations-1)/2 link states (memoized average
+/// path loss + fade process) are built eagerly at construction into one
+/// flat upper-triangle array, so the per-packet hot call path_loss_db()
+/// is an index computation plus one Gauss-Markov step — no map lookup,
+/// no lazy-init branch (DESIGN.md §11).  Draw-stream equivalence with
+/// the historical lazy map: each fade's substream comes from a const
+/// Rng::fork keyed only by the pair, and constructing a fade draws
+/// nothing, so eager init produces bit-identical trajectories.
 class BodyChannel final : public ChannelModel {
  public:
   BodyChannel(PathLossMatrix avg, BodyChannelParams params, Rng rng);
@@ -69,10 +78,18 @@ class BodyChannel final : public ChannelModel {
   [[nodiscard]] double link_sigma_db(int i, int j) const;
 
  private:
+  /// One symmetric link's memoized state.
+  struct LinkState {
+    double base_db;  ///< PL̄(i,j), cached out of the matrix
+    GaussMarkovFade fade;
+  };
+
+  /// Upper-triangle index of the unordered pair {i,j}, i != j.
+  [[nodiscard]] static std::size_t link_index(int i, int j);
+
   PathLossMatrix avg_;
   BodyChannelParams params_;
-  Rng rng_;
-  std::map<std::pair<int, int>, GaussMarkovFade> fades_;
+  std::vector<LinkState> links_;  ///< all pairs, built at construction
 };
 
 /// Convenience factory: calibrated body matrix + default fading.  This

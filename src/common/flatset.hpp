@@ -1,0 +1,87 @@
+// hi-opt: open-addressing hash set of 64-bit keys.
+//
+// Purpose-built replacement for std::unordered_set<uint64_t> on the
+// simulator's dedup hot paths (routing seen/echoed sets): one flat
+// power-of-two table, linear probing, no per-node allocation, no
+// iterator surface.  Keys are stored biased by +1 so the all-zero
+// freshly-allocated table means "all empty"; key UINT64_MAX is
+// therefore not storable (asserted), which the packet key()
+// (origin<<32 | seq) can never produce.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace hi {
+
+/// See file comment.  Insert-only membership set (no erase — the
+/// simulator's dedup sets only ever grow within a run).
+class FlatSet64 {
+ public:
+  /// `expected` sizes the initial table to avoid growth churn.
+  explicit FlatSet64(std::size_t expected = 16) {
+    std::size_t cap = 16;
+    while (cap * 10 < expected * 16) cap <<= 1;  // keep load below ~0.625
+    slots_.resize(cap, 0);
+  }
+
+  /// Inserts `key`; returns true when it was not already present
+  /// (mirrors unordered_set::insert().second).
+  bool insert(std::uint64_t key) {
+    HI_ASSERT_MSG(key != ~0ull, "FlatSet64 cannot store UINT64_MAX");
+    if ((size_ + 1) * 10 >= slots_.size() * 7) grow();
+    const std::uint64_t biased = key + 1;
+    std::size_t i = probe_start(key);
+    while (slots_[i] != 0) {
+      if (slots_[i] == biased) return false;
+      i = (i + 1) & (slots_.size() - 1);
+    }
+    slots_[i] = biased;
+    ++size_;
+    return true;
+  }
+
+  /// True when `key` has been inserted.
+  [[nodiscard]] bool contains(std::uint64_t key) const {
+    const std::uint64_t biased = key + 1;
+    std::size_t i = probe_start(key);
+    while (slots_[i] != 0) {
+      if (slots_[i] == biased) return true;
+      i = (i + 1) & (slots_.size() - 1);
+    }
+    return false;
+  }
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+
+ private:
+  /// splitmix64 finalizer: full-avalanche mix so sequential packet keys
+  /// spread over the table.
+  [[nodiscard]] std::size_t probe_start(std::uint64_t key) const {
+    std::uint64_t x = key;
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ull;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebull;
+    x ^= x >> 31;
+    return static_cast<std::size_t>(x) & (slots_.size() - 1);
+  }
+
+  void grow() {
+    std::vector<std::uint64_t> old = std::move(slots_);
+    slots_.assign(old.size() * 2, 0);
+    size_ = 0;
+    for (std::uint64_t biased : old) {
+      if (biased != 0) insert(biased - 1);
+    }
+  }
+
+  std::vector<std::uint64_t> slots_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace hi

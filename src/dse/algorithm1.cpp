@@ -1,9 +1,21 @@
-#include "dse/algorithm1.hpp"
-
+// hi-opt: Algorithm 1 — the paper's MILP + simulation DSE loop.
+//
+// Each iteration asks the MILP for *all* configurations attaining the
+// current minimum of the approximate power model (RunMILP), simulates
+// them (RunSim), keeps the best one meeting the reliability bound
+// (Sort), and cuts the exhausted power level out of the MILP (Update).
+// Termination: the MILP runs dry, or the α-discounted analytic power of
+// the next level is guaranteed to exceed the simulated incumbent
+// (line 5 of the paper's listing).
+//
+// Entry point: run_algorithm1(scenario, eval, ExplorationOptions),
+// declared in dse/explorer.hpp (or Explorer::algorithm1().run(...)).
 #include <algorithm>
 #include <limits>
 
 #include "common/assert.hpp"
+#include "dse/explorer.hpp"
+#include "dse/milp_encoding.hpp"
 #include "exec/batch_evaluator.hpp"
 #include "model/power.hpp"
 #include "obs/timer.hpp"
@@ -168,14 +180,5 @@ ExplorationResult run_algorithm1(const model::Scenario& scenario,
   scope.finish(res);
   return res;
 }
-
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-ExplorationResult run_algorithm1(const model::Scenario& scenario,
-                                 Evaluator& eval,
-                                 const Algorithm1Options& opt) {
-  return run_algorithm1(scenario, eval, opt.to_exploration_options());
-}
-#pragma GCC diagnostic pop
 
 }  // namespace hi::dse

@@ -1,8 +1,20 @@
-#include "dse/annealing.hpp"
-
+// hi-opt: simulated-annealing baseline (the paper compares Algorithm 1
+// against the general-purpose `simanneal` optimizer and reports a ~3x
+// speedup).
+//
+// State: one full design point.  Moves: step the Tx level, flip the MAC,
+// flip the routing scheme, or toggle one optional location (rejecting
+// mutations that break the topological constraints).  Energy: simulated
+// power plus a steep penalty proportional to the PDR shortfall below
+// PDRmin, so the annealer is pulled toward feasible low-power designs.
+// Cooling: exponential (Kirkpatrick) schedule from t_start to t_end.
+//
+// Entry point: run_annealing(scenario, eval, ExplorationOptions),
+// declared in dse/explorer.hpp (or Explorer::annealing().run(...)).
 #include <cmath>
 
 #include "common/assert.hpp"
+#include "dse/explorer.hpp"
 #include "model/power.hpp"
 
 namespace hi::dse {
@@ -150,14 +162,5 @@ ExplorationResult run_annealing(const model::Scenario& scenario,
   scope.finish(res);
   return res;
 }
-
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-ExplorationResult run_annealing(const model::Scenario& scenario,
-                                Evaluator& eval,
-                                const AnnealingOptions& opt) {
-  return run_annealing(scenario, eval, opt.to_exploration_options());
-}
-#pragma GCC diagnostic pop
 
 }  // namespace hi::dse

@@ -1,8 +1,17 @@
-#include "dse/exhaustive.hpp"
-
+// hi-opt: exhaustive-search baseline.
+//
+// Simulates every configuration satisfying the topological and
+// configuration constraints and returns the minimum-power one meeting
+// the reliability bound.  This is the ground truth Algorithm 1 is
+// compared against ("87% reduction in the number of required
+// simulations") and also the generator of Fig. 3's full scatter.
+//
+// Entry point: run_exhaustive(scenario, eval, ExplorationOptions),
+// declared in dse/explorer.hpp (or Explorer::exhaustive().run(...)).
 #include <algorithm>
 
 #include "common/assert.hpp"
+#include "dse/explorer.hpp"
 #include "exec/batch_evaluator.hpp"
 #include "model/power.hpp"
 
@@ -53,15 +62,5 @@ ExplorationResult run_exhaustive(const model::Scenario& scenario,
   scope.finish(res);
   return res;
 }
-
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-ExplorationResult run_exhaustive(const model::Scenario& scenario,
-                                 Evaluator& eval, double pdr_min) {
-  ExplorationOptions opt;
-  opt.pdr_min = pdr_min;
-  return run_exhaustive(scenario, eval, opt);
-}
-#pragma GCC diagnostic pop
 
 }  // namespace hi::dse

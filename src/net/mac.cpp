@@ -7,7 +7,9 @@ namespace hi::net {
 Mac::Mac(des::Kernel& kernel, Radio& radio, int buffer_packets,
          const obs::RunTrace* trace)
     : kernel_(kernel), radio_(radio), buffer_packets_(buffer_packets),
-      trace_(trace) {
+      trace_(trace),
+      queue_(buffer_packets > 0 ? static_cast<std::size_t>(buffer_packets)
+                                : 1) {
   HI_REQUIRE(buffer_packets_ > 0, "MAC buffer must hold at least one packet");
   radio_.on_receive = [this](const Packet& p) {
     if (on_receive) {
@@ -18,7 +20,7 @@ Mac::Mac(des::Kernel& kernel, Radio& radio, int buffer_packets,
 
 void Mac::enqueue(const Packet& p) {
   ++stats_.enqueued;
-  if (queue_.size() >= static_cast<std::size_t>(buffer_packets_)) {
+  if (queue_.full()) {
     ++stats_.dropped_buffer;
     if (trace_ != nullptr) {
       trace_->record(obs::TraceEvent{kernel_.now(),

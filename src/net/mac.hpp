@@ -7,8 +7,8 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <functional>
+#include <vector>
 
 #include "common/rng.hpp"
 #include "des/kernel.hpp"
@@ -17,6 +17,39 @@
 #include "obs/trace.hpp"
 
 namespace hi::net {
+
+/// Fixed-capacity FIFO ring of packets — the MAC buffer.  Capacity is
+/// the buffer BMAC from the paper's node model, so the ring is allocated
+/// once at construction and enqueue/dequeue never touch the heap
+/// (DESIGN.md §11; this replaced a std::deque whose node churn showed up
+/// in the simulator hot path).
+class PacketQueue {
+ public:
+  explicit PacketQueue(std::size_t capacity) : ring_(capacity) {}
+
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] bool full() const { return size_ == ring_.size(); }
+  [[nodiscard]] std::size_t size() const { return size_; }
+
+  /// Oldest packet; queue must be non-empty.
+  [[nodiscard]] const Packet& front() const { return ring_[head_]; }
+
+  /// Caller must check full() first — the MAC drop policy lives there.
+  void push_back(const Packet& p) {
+    ring_[(head_ + size_) % ring_.size()] = p;
+    ++size_;
+  }
+
+  void pop_front() {
+    head_ = (head_ + 1) % ring_.size();
+    --size_;
+  }
+
+ private:
+  std::vector<Packet> ring_;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+};
 
 /// MAC-level counters.
 struct MacStats {
@@ -62,7 +95,7 @@ class Mac {
   Radio& radio_;
   int buffer_packets_;
   const obs::RunTrace* trace_;
-  std::deque<Packet> queue_;
+  PacketQueue queue_;
   MacStats stats_;
 };
 

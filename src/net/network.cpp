@@ -191,6 +191,9 @@ SimResult simulate(const model::NetworkConfig& cfg,
     m.counter("des.cancelled").add(kernel.events_cancelled());
     m.gauge("des.heap_highwater")
         .update_max(static_cast<double>(kernel.heap_highwater()));
+    m.counter("des.alloc_slabs").add(kernel.arena_chunks());
+    m.counter("des.alloc_handler_heap").add(kernel.handler_heap_allocs());
+    m.counter("des.heap_sift").add(kernel.heap_sift_steps());
     m.counter("net.medium.transmissions").add(res.medium.transmissions);
     m.counter("net.medium.deliveries_offered")
         .add(res.medium.deliveries_offered);

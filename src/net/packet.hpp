@@ -5,23 +5,32 @@
 // number (PDR accounting), the current hop transmitter, the flooding hop
 // counter, and the visited-node history that controlled flooding uses to
 // stop duplicate circulation (Sec. 2.1.2, Routing Mechanism).
+//
+// Packets are small PODs copied by value along the hot path (MAC ring
+// buffer, radio signal set — DESIGN.md §11), so adding fields has a
+// direct per-event cost; keep this struct lean.
 #pragma once
 
 #include <cstdint>
 
 namespace hi::net {
 
-/// A packet in flight.  Copied freely.
+/// A packet in flight.  Copied freely; no ownership, no heap.
 struct Packet {
   int origin = 0;            ///< location id of the originating node
   std::uint32_t seq = 0;     ///< per-origin application sequence number
   int dest = 0;              ///< location id of the final destination
   int sender = 0;            ///< location id of the current transmitter
   int hops = 0;              ///< relays so far (0 = original transmission)
-  std::uint16_t visited = 0; ///< bitmask of location ids the packet visited
-  int bytes = 100;           ///< physical-layer length L
+  /// Bitmask of location ids this packet has visited — the controlled-
+  /// flooding history.  16 bits bound the stack to 16 locations; the
+  /// paper's space has 10 (`channel::kNumLocations`).
+  std::uint16_t visited = 0;
+  int bytes = 100;           ///< physical-layer length L (Eq. 3 airtime)
 
-  /// Unique key of the application packet (origin, seq).
+  /// Unique key of the application packet (origin, seq) — stable across
+  /// relays, which is what PDR accounting and the mesh duplicate filter
+  /// (`FlatSet64` in routing.hpp) key on.
   [[nodiscard]] std::uint64_t key() const {
     return (static_cast<std::uint64_t>(origin) << 32) | seq;
   }

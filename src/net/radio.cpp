@@ -45,9 +45,16 @@ void Radio::finish_transmit() {
   }
 }
 
+Radio::Signal* Radio::find_signal(std::uint64_t tx_id) {
+  for (Signal& s : audible_) {
+    if (s.tx_id == tx_id) return &s;
+  }
+  return nullptr;
+}
+
 void Radio::signal_start(std::uint64_t tx_id, double rx_dbm, const Packet& p) {
   // The medium only offers signals above sensitivity.
-  audible_.emplace(tx_id, Signal{rx_dbm, p});
+  audible_.push_back(Signal{tx_id, rx_dbm, p});
   if (transmitting_) {
     ++stats_.rx_missed;  // half duplex: cannot hear while talking
     return;
@@ -59,8 +66,8 @@ void Radio::signal_start(std::uint64_t tx_id, double rx_dbm, const Packet& p) {
     current_rx_id_ = tx_id;
     current_corrupted_ = false;
     decode_start_ = kernel_.now();
-    for (const auto& [id, sig] : audible_) {
-      if (id != tx_id && sig.rx_dbm > rx_dbm - params_.capture_db) {
+    for (const Signal& sig : audible_) {
+      if (sig.tx_id != tx_id && sig.rx_dbm > rx_dbm - params_.capture_db) {
         current_corrupted_ = true;
         break;
       }
@@ -70,20 +77,22 @@ void Radio::signal_start(std::uint64_t tx_id, double rx_dbm, const Packet& p) {
   // Already decoding another signal: the newcomer is interference for the
   // current decode and is itself missed.
   ++stats_.rx_missed;
-  const auto cur = audible_.find(current_rx_id_);
-  HI_ASSERT(cur != audible_.end());
-  if (rx_dbm > cur->second.rx_dbm - params_.capture_db) {
+  const Signal* cur = find_signal(current_rx_id_);
+  HI_ASSERT(cur != nullptr);
+  if (rx_dbm > cur->rx_dbm - params_.capture_db) {
     current_corrupted_ = true;
   }
 }
 
 void Radio::signal_end(std::uint64_t tx_id) {
-  const auto it = audible_.find(tx_id);
-  if (it == audible_.end()) {
+  Signal* it = find_signal(tx_id);
+  if (it == nullptr) {
     return;  // signal started while we were attached elsewhere — ignore
   }
-  const Signal sig = it->second;
-  audible_.erase(it);
+  const Signal sig = *it;
+  // Swap-remove: audible_ order is never observable (see header).
+  *it = audible_.back();
+  audible_.pop_back();
   if (decoding_ && current_rx_id_ == tx_id) {
     decoding_ = false;
     current_rx_id_ = 0;

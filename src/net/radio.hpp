@@ -13,7 +13,7 @@
 
 #include <cstdint>
 #include <functional>
-#include <unordered_map>
+#include <vector>
 
 #include "des/kernel.hpp"
 #include "net/packet.hpp"
@@ -91,10 +91,12 @@ class Radio {
 
  private:
   struct Signal {
+    std::uint64_t tx_id;
     double rx_dbm;
     Packet packet;
   };
 
+  [[nodiscard]] Signal* find_signal(std::uint64_t tx_id);
   void finish_transmit();
 
   des::Kernel& kernel_;
@@ -104,7 +106,11 @@ class Radio {
   const obs::RunTrace* trace_;
 
   bool transmitting_ = false;
-  std::unordered_map<std::uint64_t, Signal> audible_;
+  /// Signals currently on the air at this radio.  A handful at most
+  /// (bounded by the node count), so a flat vector with swap-remove
+  /// beats a hash map; iteration order feeds only an order-independent
+  /// interference OR, so determinism is unaffected (DESIGN.md §11).
+  std::vector<Signal> audible_;
 
   bool decoding_ = false;
   std::uint64_t current_rx_id_ = 0;

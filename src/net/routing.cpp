@@ -24,7 +24,7 @@ void Routing::originate(int bytes, int dest) {
 }
 
 void Routing::deliver_if_new(const Packet& p) {
-  if (!seen_.insert(p.key()).second) {
+  if (!seen_.insert(p.key())) {
     ++stats_.duplicates;
     return;
   }
@@ -46,8 +46,7 @@ void StarRouting::handle_receive(const Packet& p) {
     return;
   }
   // Transit: only the coordinator forwards, once per unique packet.
-  if (location_ == coordinator_ && p.hops == 0 &&
-      echoed_.insert(p.key()).second) {
+  if (location_ == coordinator_ && p.hops == 0 && echoed_.insert(p.key())) {
     Packet echo = p;
     echo.sender = location_;
     echo.hops = 1;

@@ -25,8 +25,8 @@
 
 #include <cstdint>
 #include <functional>
-#include <unordered_set>
 
+#include "common/flatset.hpp"
 #include "net/mac.hpp"
 #include "net/packet.hpp"
 
@@ -69,7 +69,7 @@ class Routing {
   Mac& mac_;
   int location_;
   std::uint32_t next_seq_ = 0;
-  std::unordered_set<std::uint64_t> seen_;
+  FlatSet64 seen_;  ///< packet key() dedup; flat set keeps this allocation-free
   RoutingStats stats_;
 };
 
@@ -82,7 +82,7 @@ class StarRouting final : public Routing {
   void handle_receive(const Packet& p) override;
 
   int coordinator_;
-  std::unordered_set<std::uint64_t> echoed_;
+  FlatSet64 echoed_;
 };
 
 /// Controlled flooding mesh; see file comment.

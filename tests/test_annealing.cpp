@@ -1,5 +1,5 @@
-// Tests for the simulated-annealing baseline (dse/annealing.hpp, unified
-// entry point in dse/explorer.hpp).
+// Tests for the simulated-annealing baseline (dse/annealing.cpp, entry
+// point in dse/explorer.hpp).
 #include "dse/explorer.hpp"
 
 #include <gtest/gtest.h>

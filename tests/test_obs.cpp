@@ -9,9 +9,6 @@
 #include <vector>
 
 #include "channel/channel.hpp"
-#include "dse/algorithm1.hpp"
-#include "dse/annealing.hpp"
-#include "dse/exhaustive.hpp"
 #include "dse/explorer.hpp"
 #include "exec/thread_pool.hpp"
 #include "net/network.hpp"
@@ -381,81 +378,6 @@ TEST(ObsExplorers, EvaluatorMirrorsCountersIntoRegistry) {
   EXPECT_EQ(snap.counter("dse.cache_hits"), 1u);
   ASSERT_NE(snap.histogram("dse.simulate_s"), nullptr);
   EXPECT_EQ(snap.histogram("dse.simulate_s")->count, 1u);
-}
-
-// The legacy option structs must keep mapping faithfully onto
-// ExplorationOptions until the deprecated run_* shims are removed (see
-// the removal notes in dse/algorithm1.hpp, annealing.hpp,
-// exhaustive.hpp).  The mappings are exercised through the unified API
-// only, so no deprecated function is called and no diagnostic pragma is
-// needed.
-TEST(ObsExplorers, LegacyOptionStructsMapOntoUnifiedApi) {
-  Algorithm1Options legacy;
-  legacy.pdr_min = 0.7;
-  legacy.max_iterations = 123;
-  legacy.threads = 2;
-  legacy.use_alpha_termination = false;
-  legacy.bound = TerminationBound::kPaperAlpha;
-  legacy.alpha_kappa = 0.5;
-  const ExplorationOptions mapped = legacy.to_exploration_options();
-  EXPECT_EQ(mapped.pdr_min, 0.7);
-  EXPECT_EQ(mapped.budget, 123);
-  EXPECT_EQ(mapped.threads, 2);
-  EXPECT_FALSE(mapped.use_alpha_termination);
-  EXPECT_EQ(mapped.bound, TerminationBound::kPaperAlpha);
-  EXPECT_EQ(mapped.alpha_kappa, 0.5);
-
-  AnnealingOptions sa;
-  sa.pdr_min = 0.6;
-  sa.steps = 20;
-  sa.seed = 99;
-  sa.t_start_mw = 3.0;
-  sa.t_end_mw = 0.01;
-  sa.penalty_mw_per_pdr = 42.0;
-  const ExplorationOptions sa_mapped = sa.to_exploration_options();
-  EXPECT_EQ(sa_mapped.pdr_min, 0.6);
-  EXPECT_EQ(sa_mapped.budget, 20);
-  EXPECT_EQ(sa_mapped.seed, 99u);
-  EXPECT_EQ(sa_mapped.t_start_mw, 3.0);
-  EXPECT_EQ(sa_mapped.t_end_mw, 0.01);
-  EXPECT_EQ(sa_mapped.penalty_mw_per_pdr, 42.0);
-
-  // Driving the unified API with a mapped value matches a directly
-  // constructed ExplorationOptions (Algorithm 1 is deterministic, and
-  // both terminate far below either budget default).
-  Evaluator ev1(fast_settings());
-  Algorithm1Options defaults;
-  defaults.pdr_min = 0.7;
-  const ExplorationResult a =
-      run_algorithm1(small_scenario(), ev1, defaults.to_exploration_options());
-
-  Evaluator ev2(fast_settings());
-  ExplorationOptions unified;
-  unified.pdr_min = 0.7;
-  const ExplorationResult b = run_algorithm1(small_scenario(), ev2, unified);
-
-  EXPECT_EQ(a.feasible, b.feasible);
-  EXPECT_EQ(a.best_power_mw, b.best_power_mw);
-  EXPECT_EQ(a.simulations, b.simulations);
-  EXPECT_EQ(a.metrics.counter("dse.simulations"), a.simulations);
-
-  // The exhaustive shim's mapping is "only pdr_min set": the unified
-  // call it forwards to.
-  Evaluator ev3(fast_settings());
-  ExplorationOptions ex;
-  ex.pdr_min = 0.7;
-  const ExplorationResult c = run_exhaustive(small_scenario(), ev3, ex);
-  EXPECT_EQ(c.metrics.counter("dse.simulations"), c.simulations);
-
-  // And the annealing mapping drives the unified annealer.
-  Evaluator ev4(fast_settings());
-  AnnealingOptions sa_run;
-  sa_run.pdr_min = 0.7;
-  sa_run.steps = 20;
-  const ExplorationResult d =
-      run_annealing(small_scenario(), ev4, sa_run.to_exploration_options());
-  EXPECT_EQ(d.iterations, 20);
-  EXPECT_EQ(d.metrics.counter("dse.simulations"), d.simulations);
 }
 
 }  // namespace

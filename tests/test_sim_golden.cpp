@@ -1,0 +1,105 @@
+// Golden bit-exact simulation fingerprints.
+//
+// These rows were recorded from the pre-overhaul simulator (PR 4 state:
+// std::function + priority_queue + unordered_map kernel, lazy map-based
+// channel fades, deque MAC buffers, hash-map radio/routing state) and
+// pin the hot-path overhaul's determinism contract (DESIGN.md §11):
+// every optimization since must reproduce these doubles *bit for bit*,
+// across single runs and seed-averaged runs, star and mesh, CSMA and
+// TDMA.  If a future change breaks a row on purpose (a genuine
+// simulator behaviour change, not an optimization), regenerate the rows
+// and say so in the PR — never loosen the comparison to tolerances.
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "channel/channel.hpp"
+#include "model/design_space.hpp"
+#include "net/network.hpp"
+
+namespace hi {
+namespace {
+
+std::uint64_t bits(double d) {
+  std::uint64_t u;
+  std::memcpy(&u, &d, sizeof(u));
+  return u;
+}
+
+struct GoldenRow {
+  const char* name;
+  std::vector<int> locs;
+  int tx_level;
+  model::MacProtocol mac;
+  model::RoutingProtocol routing;
+  std::uint64_t seed;
+  // simulate() fingerprint
+  std::uint64_t pdr, worst_power_mw, mean_power_mw, nlt_s;
+  std::uint64_t events;
+  // simulate_averaged(2 runs) fingerprint
+  std::uint64_t avg_pdr, avg_worst_power_mw;
+  std::uint64_t avg_events;
+};
+
+const std::vector<GoldenRow>& golden_rows() {
+  using model::MacProtocol;
+  using model::RoutingProtocol;
+  static const std::vector<GoldenRow> rows = {
+      {"star_csma_n4", {0, 1, 3, 5}, 1, MacProtocol::kCsma,
+       RoutingProtocol::kStar, 2017,
+       0x3fea433788cde234ull, 0x3fe8edc28f5c1f66ull, 0x3fe4f23d70a3cfaeull,
+       0x4147cc5cfcfbc968ull, 5406ull,
+       0x3fe6c8b8362e0d8cull, 0x3fe7ec0c49ba550aull, 9944ull},
+      {"star_tdma_n4", {0, 1, 3, 5}, 2, MacProtocol::kTdma,
+       RoutingProtocol::kStar, 2017,
+       0x3feedbefbefbefbfull, 0x3fec14083126df4bull, 0x3fea475c28f5b943ull,
+       0x414520fdae917992ull, 6079ull,
+       0x3fec7fea53fa94feull, 0x3feb619db22d04b4ull, 11486ull},
+      {"mesh_csma_n5", {0, 1, 3, 5, 7}, 2, MacProtocol::kCsma,
+       RoutingProtocol::kMesh, 99,
+       0x3fed63dbb01d0cb5ull, 0x3ff8d9fbe76c83f2ull, 0x3ff71e5460aa5e2bull,
+       0x4137df4d16c558c4ull, 21039ull,
+       0x3fedbb190e296550ull, 0x3ff8107ae147a740ull, 42858ull},
+      {"mesh_tdma_n5", {0, 1, 3, 5, 7}, 0, MacProtocol::kTdma,
+       RoutingProtocol::kMesh, 7,
+       0x3fe9d92566c35bdeull, 0x400216a0c49b9f82ull, 0x3ffcaff06f6939d6ull,
+       0x413066227a6e6b30ull, 19174ull,
+       0x3feabca421683732ull, 0x40044a810624d63aull, 44193ull},
+      {"mesh_tdma_n6", {0, 2, 4, 6, 8, 9}, 2, MacProtocol::kTdma,
+       RoutingProtocol::kMesh, 424242,
+       0x3ff0000000000000ull, 0x4026b2bffffff211ull, 0x4025278cccccc101ull,
+       0x410a230bf8e83d3full, 107776ull,
+       0x3feff8d0649a7f8dull, 0x4027236f9db21e70ull, 220222ull},
+  };
+  return rows;
+}
+
+TEST(SimGolden, BitExactAgainstPreOverhaulKernel) {
+  const model::Scenario scenario;
+  for (const GoldenRow& row : golden_rows()) {
+    SCOPED_TRACE(row.name);
+    const auto cfg = scenario.make_config(
+        model::Topology::from_locations(row.locs), row.tx_level, row.mac,
+        row.routing);
+    net::SimParams sp;
+    sp.duration_s = 20.0;
+    sp.seed = row.seed;
+    const net::SimResult one = net::simulate(
+        cfg, *net::default_channel_factory()(row.seed ^ 0xABCDEF), sp);
+    EXPECT_EQ(bits(one.pdr), row.pdr);
+    EXPECT_EQ(bits(one.worst_power_mw), row.worst_power_mw);
+    EXPECT_EQ(bits(one.mean_power_mw), row.mean_power_mw);
+    EXPECT_EQ(bits(one.nlt_s), row.nlt_s);
+    EXPECT_EQ(one.events, row.events);
+
+    const net::SimResult avg = net::simulate_averaged(cfg, sp, 2);
+    EXPECT_EQ(bits(avg.pdr), row.avg_pdr);
+    EXPECT_EQ(bits(avg.worst_power_mw), row.avg_worst_power_mw);
+    EXPECT_EQ(avg.events, row.avg_events);
+  }
+}
+
+}  // namespace
+}  // namespace hi
