@@ -1,0 +1,165 @@
+// Perf microbenchmark for the campaign fabric (hi::campaign): the
+// lease-based claim protocol (claim/done/release cycles per second on
+// the filesystem), the shard merge (frames folded per second plus the
+// exact-gated merged record counts), and a real 2-worker fleet over the
+// generated-scenario grid (fork + shards + merge end to end, with the
+// fleet's fresh-simulation count exact-gated against the cold cost —
+// the fabric's zero-duplicate-work economy as a regression gate).
+//
+// Emits the canonical "hi-bench/v1" JSON on stdout (schema in
+// DESIGN.md §11); committed baseline BENCH_campaign.json, run and gated
+// by scripts/bench.sh.  HI_BENCH_QUICK shrinks the workloads; extensive
+// counts are then emitted with gate=false as usual.
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <unistd.h>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "campaign/claims.hpp"
+#include "campaign/plan.hpp"
+#include "campaign/report.hpp"
+#include "campaign/runner.hpp"
+#include "common/assert.hpp"
+#include "store/store.hpp"
+
+namespace {
+
+using namespace hi;
+
+void remove_tree(const std::string& dir) {
+  const std::string cmd = "rm -rf '" + dir + "'";
+  [[maybe_unused]] const int rc = std::system(cmd.c_str());
+}
+
+campaign::CampaignPlan build_plan(const std::vector<std::uint64_t>& seeds,
+                                  const std::vector<double>& grid) {
+  campaign::PlanSpec spec;
+  spec.gen_seeds = seeds;
+  spec.pdr_grid = grid;
+  std::string err;
+  const auto plan = campaign::CampaignPlan::build(spec, &err);
+  HI_ASSERT_MSG(plan.has_value(), "plan build failed: " << err);
+  return *plan;
+}
+
+}  // namespace
+
+int main() {
+  using namespace hi;
+  const bool quick = bench::quick_mode();
+  const std::string tag = std::to_string(::getpid());
+
+  dse::EvaluatorSettings banner_settings;  // the plan's pinned settings
+  banner_settings.sim.duration_s = campaign::PlanSpec{}.tsim_s;
+  banner_settings.sim.seed = campaign::PlanSpec{}.seed;
+  banner_settings.runs = campaign::PlanSpec{}.runs;
+  bench::BenchReport report("campaign", banner_settings);
+  std::cerr << "bench_campaign_fabric: quick=" << quick
+            << " (hi-bench/v1 JSON on stdout)\n";
+
+  // ---- Claim protocol: acquire -> done -> release cycles on disk.
+  {
+    // Not shrunk in quick mode: the full loop is ~0.1 s, and short runs
+    // are dominated by directory warm-up, skewing the rate.
+    const std::uint64_t cycles = 2000;
+    const std::string dir = "bench_claims-" + tag;
+    remove_tree(dir);
+    campaign::ClaimBoard board(dir, /*run_id=*/1, /*slot=*/0,
+                               /*lease_ms=*/60000, nullptr);
+    const double wall = bench::time_best_of(1, [&] {
+      for (std::uint64_t i = 0; i < cycles; ++i) {
+        const std::string token = "row-" + std::to_string(i) + "-bench";
+        HI_ASSERT(board.try_claim(token, true) ==
+                  campaign::ClaimOutcome::kAcquired);
+        board.mark_done(token);
+        board.release(token);
+      }
+    });
+    // gate=false: filesystem timing on a shared box varies several-fold
+    // run to run (journal batching); trajectory data only.
+    report.add(bench::BenchMetric{"claim_cycles", "cycles/s",
+                                  wall > 0.0 ? cycles / wall : 0.0, "higher",
+                                  false, cycles, wall});
+    std::cerr << "  claims: " << cycles << " cycles in " << wall << " s\n";
+    remove_tree(dir);
+  }
+
+  // ---- Shard merge: fold three real shards into a canonical store.
+  std::uint64_t fleet_cold_evals = 0;
+  {
+    const std::vector<std::uint64_t> seeds = {5, 6, 7};
+    const std::vector<double> grid =
+        quick ? std::vector<double>{0.5} : std::vector<double>{0.5, 0.7, 0.9};
+    std::vector<std::string> shards;
+    std::uint64_t frames = 0;
+    for (const std::uint64_t seed : seeds) {
+      const std::string path =
+          "bench_merge_shard" + std::to_string(seed) + "-" + tag + ".store";
+      std::remove(path.c_str());
+      campaign::RunConfig cfg;
+      cfg.store_path = path;
+      const campaign::CampaignReport rep =
+          campaign::run_single(build_plan({seed}, grid), cfg, nullptr);
+      frames += rep.stored_evals + rep.stored_cells;
+      if (seed != 7) fleet_cold_evals += rep.stored_evals;
+      shards.push_back(path);
+    }
+    const std::string out = "bench_merge_out-" + tag + ".store";
+    store::EvalStore::MergeStats st;
+    const double wall = bench::time_best_of(quick ? 2 : 5, [&] {
+      std::remove(out.c_str());
+      st = store::EvalStore::merge(shards, out);
+    });
+    HI_ASSERT_MSG(st.clean() && st.frames == frames,
+                  "merge lost records: " << st.frames << " != " << frames);
+    report.add(bench::BenchMetric{"merge_frames", "frames/s",
+                                  wall > 0.0 ? frames / wall : 0.0, "higher",
+                                  false, frames, wall});
+    report.add(bench::BenchMetric{"merge_frames_total", "count",
+                                  static_cast<double>(frames), "exact",
+                                  !quick, frames, 0.0});
+    report.add(bench::BenchMetric{"merge_duplicate_evals", "count",
+                                  static_cast<double>(st.duplicate_evals),
+                                  "exact", !quick, 0, 0.0});
+    std::cerr << "  merge: " << frames << " frames in " << wall << " s\n";
+    for (const std::string& s : shards) std::remove(s.c_str());
+    std::remove(out.c_str());
+  }
+
+  // ---- Fleet end to end: 2 workers, 2 rows, fork + shards + merge.
+  {
+    const std::vector<double> grid =
+        quick ? std::vector<double>{0.5} : std::vector<double>{0.5, 0.7, 0.9};
+    const auto plan = build_plan({5, 6}, grid);
+    const std::string dir = "bench_fleet-" + tag;
+    remove_tree(dir);
+    campaign::RunConfig cfg;
+    cfg.shard_dir = dir;
+    cfg.workers = 2;
+    const campaign::FleetReport fleet = campaign::run_fleet(plan, cfg, nullptr);
+    HI_ASSERT_MSG(fleet.complete, "bench fleet did not complete");
+    const campaign::WorkerReport totals = fleet.totals();
+    // The economy gate: a crash-free fleet pays exactly the cold cost.
+    HI_ASSERT_MSG(totals.fresh_simulations == fleet_cold_evals,
+                  "fleet re-simulated: " << totals.fresh_simulations
+                                         << " != " << fleet_cold_evals);
+    report.add(bench::BenchMetric{"fleet_wall", "s", fleet.wall_s, "lower",
+                                  false, plan.cell_count(), fleet.wall_s});
+    report.add(bench::BenchMetric{"fleet_cells_per_s", "cells/s",
+                                  fleet.throughput_cells_per_s(), "higher",
+                                  false, plan.cell_count(), fleet.wall_s});
+    report.add(bench::BenchMetric{"fleet_fresh_simulations", "count",
+                                  static_cast<double>(totals.fresh_simulations),
+                                  "exact", !quick, totals.fresh_simulations,
+                                  0.0});
+    std::cerr << "  fleet: " << plan.cell_count() << " cells in "
+              << fleet.wall_s << " s across 2 workers\n";
+    remove_tree(dir);
+  }
+
+  report.write(std::cout);
+  return 0;
+}

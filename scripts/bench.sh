@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Canonical perf-benchmark runner and regression gate (DESIGN.md §11).
 #
-#   scripts/bench.sh          full run: rebuild, run the three perf
+#   scripts/bench.sh          full run: rebuild, run the four perf
 #                             benches with pinned seeds, validate the
 #                             hi-bench/v1 schema, gate against the
 #                             committed BENCH_*.json baselines (>10%
@@ -15,7 +15,8 @@
 # Environment: HI_BENCH_TOLERANCE overrides the gate tolerance.
 # Benches: bench_des_perf (DES kernel + end-to-end sim + channel),
 # bench_milp_perf (simplex / branch-and-bound / DSE MILP round),
-# bench_parallel_speedup (hi::exec thread sweep + determinism gate).
+# bench_parallel_speedup (hi::exec thread sweep + determinism gate),
+# bench_campaign_fabric (claim protocol, shard merge, 2-worker fleet).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -34,7 +35,8 @@ fi
 build_dir=build
 cmake -B "${build_dir}" -S . -DHI_BUILD_BENCH=ON >/dev/null
 cmake --build "${build_dir}" -j "$(nproc)" \
-      --target bench_des_perf bench_milp_perf bench_parallel_speedup
+      --target bench_des_perf bench_milp_perf bench_parallel_speedup \
+               bench_campaign_fabric
 
 if [[ "${quick}" == 1 ]]; then
   out_dir="$(mktemp -d)"
@@ -56,11 +58,13 @@ declare -A bench_env=(
   [des_perf]=""
   [milp_perf]=""
   [parallel]="${parallel_env[*]}"
+  [campaign]=""
 )
 status=0
-for name in des_perf milp_perf parallel; do
+for name in des_perf milp_perf parallel campaign; do
   bin="${build_dir}/bench/bench_${name}"
   [[ "${name}" == parallel ]] && bin="${build_dir}/bench/bench_parallel_speedup"
+  [[ "${name}" == campaign ]] && bin="${build_dir}/bench/bench_campaign_fabric"
   new="${out_dir}/BENCH_${name}.json"
   echo "==> running bench_${name}"
   env ${bench_env[${name}]} "${bin}" > "${new}"

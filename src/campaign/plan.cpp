@@ -1,0 +1,99 @@
+#include "campaign/plan.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "check/scenario_gen.hpp"
+#include "common/assert.hpp"
+
+namespace hi::campaign {
+
+namespace {
+
+dse::Explorer explorer_for(dse::ExplorerKind kind) {
+  switch (kind) {
+    case dse::ExplorerKind::kExhaustive:
+      return dse::Explorer::exhaustive();
+    case dse::ExplorerKind::kAnnealing:
+      return dse::Explorer::annealing();
+    case dse::ExplorerKind::kAlgorithm1:
+      break;
+  }
+  return dse::Explorer::algorithm1();
+}
+
+}  // namespace
+
+std::optional<CampaignPlan> CampaignPlan::build(const PlanSpec& spec,
+                                                std::string* error) {
+  CampaignPlan plan;
+  plan.spec_ = spec;
+  plan.explorer_ = explorer_for(spec.explorer);
+
+  dse::EvaluatorSettings base;
+  base.sim.duration_s = spec.tsim_s;
+  base.sim.seed = spec.seed;
+  base.runs = spec.runs;
+
+  for (const std::string& file : spec.scenario_files) {
+    std::ifstream in(file);
+    if (!in) {
+      if (error != nullptr) {
+        *error = "cannot open scenario file '" + file + "'";
+      }
+      return std::nullopt;
+    }
+    std::stringstream buf;
+    buf << in.rdbuf();
+    std::string err;
+    const auto sc = store::scenario_from_json(buf.str(), &err);
+    if (!sc) {
+      if (error != nullptr) {
+        *error = file + ": " + err;
+      }
+      return std::nullopt;
+    }
+    plan.rows_.push_back({file, *sc, base, {}, {}, {}});
+  }
+  for (const std::uint64_t seed : spec.gen_seeds) {
+    check::ScenarioSpec gen = check::make_scenario(seed);
+    plan.rows_.push_back({"gen-" + std::to_string(seed), gen.scenario,
+                          std::move(gen.settings), {}, {}, {}});
+  }
+  if (plan.rows_.empty()) {
+    plan.rows_.push_back({"paper-4.1", model::Scenario{}, base, {}, {}, {}});
+  }
+
+  for (PlanRow& row : plan.rows_) {
+    row.scenario_fp = store::scenario_fingerprint(row.scenario);
+    row.settings_fp =
+        store::settings_fingerprint(row.settings, spec.channel_tag);
+    row.cells.reserve(spec.pdr_grid.size());
+    for (const double pdr_min : spec.pdr_grid) {
+      const dse::ExplorationOptions run_opt = plan.cell_options(pdr_min);
+      row.cells.push_back(store::CellKey{
+          row.scenario_fp, row.settings_fp,
+          store::options_fingerprint(run_opt, spec.explorer), pdr_min});
+    }
+  }
+  return plan;
+}
+
+dse::ExplorationOptions CampaignPlan::cell_options(double pdr_min) const {
+  dse::ExplorationOptions run_opt;
+  run_opt.pdr_min = pdr_min;
+  run_opt.budget = spec_.budget;
+  run_opt.threads = spec_.threads;
+  return run_opt;
+}
+
+std::string CampaignPlan::row_token(std::size_t row) const {
+  HI_REQUIRE(row < rows_.size(),
+             "row_token(" << row << ") out of range for a " << rows_.size()
+                          << "-row plan");
+  return "row-" + std::to_string(row) + "-" +
+         rows_[row].scenario_fp.hex().substr(0, 8);
+}
+
+}  // namespace hi::campaign

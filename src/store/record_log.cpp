@@ -76,9 +76,19 @@ const char* to_string(FsyncPolicy p) {
   return "?";
 }
 
-RecordLog::RecordLog(const std::string& path, bool read_only,
-                     const RecordFn& on_record, obs::MetricsRegistry* metrics)
-    : path_(path), read_only_(read_only) {
+const char* to_string(OpenMode m) {
+  switch (m) {
+    case OpenMode::kReadWrite: return "read-write";
+    case OpenMode::kReadOnly: return "read-only";
+  }
+  return "?";
+}
+
+RecordLog::RecordLog(const std::string& path, const RecordFn& on_record,
+                     const RecordLogOptions& options)
+    : path_(path), options_(options) {
+  const bool read_only = options_.mode == OpenMode::kReadOnly;
+  obs::MetricsRegistry* metrics = options_.metrics;
   const int flags = read_only ? O_RDONLY : O_RDWR | O_CREAT;
   fd_ = ::open(path.c_str(), flags, 0644);
   HI_REQUIRE(fd_ >= 0, "cannot open store log '" << path
@@ -167,7 +177,7 @@ RecordLog::~RecordLog() {
 }
 
 std::uint64_t RecordLog::append(std::string_view payload) {
-  HI_REQUIRE(!read_only_, "append() on a read-only store log");
+  HI_REQUIRE(!read_only(), "append() on a read-only store log");
   HI_REQUIRE(payload.size() <= kMaxPayloadBytes,
              "store record of " << payload.size() << " bytes exceeds the "
                                 << kMaxPayloadBytes << "-byte frame limit");
@@ -190,6 +200,19 @@ std::uint64_t RecordLog::append(std::string_view payload) {
     written += static_cast<std::size_t>(n);
   }
   end_ += frame.size();
+  if (options_.fsync == FsyncPolicy::kAlways) {
+    HI_REQUIRE(::fsync(fd_) == 0,
+               "store log fsync failed: " << std::strerror(errno));
+  }
+  return offset;
+}
+
+std::uint64_t RecordLog::append_checkpoint(std::string_view payload) {
+  const std::uint64_t offset = append(payload);
+  // kAlways already synced inside append(); kNone opts out entirely.
+  if (options_.fsync == FsyncPolicy::kCheckpoint) {
+    sync();
+  }
   return offset;
 }
 

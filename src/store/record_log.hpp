@@ -49,8 +49,8 @@
 namespace hi::store {
 
 /// When the log fsyncs; see the file comment for what each level
-/// guarantees.  The store maps kCheckpoint to "sync on campaign-cell
-/// completion records only".
+/// guarantees.  kCheckpoint syncs on append_checkpoint() only — the
+/// store routes campaign-cell completion records through it.
 enum class FsyncPolicy {
   kNone,        ///< never fsync (page cache only; fastest)
   kCheckpoint,  ///< fsync on checkpoint records (the default)
@@ -58,6 +58,29 @@ enum class FsyncPolicy {
 };
 
 [[nodiscard]] const char* to_string(FsyncPolicy p);
+
+/// How a log is opened.  Read-only opens scan and report damage but
+/// never mutate the file (no creation, no recovery truncation).
+enum class OpenMode {
+  kReadWrite,  ///< create if absent; truncate away recovered damage
+  kReadOnly,   ///< the file must exist; classification only
+};
+
+[[nodiscard]] const char* to_string(OpenMode m);
+
+/// Everything an open needs besides the path and the record callback.
+/// A named-options struct instead of positional bools, so call sites
+/// read as `{.mode = OpenMode::kReadOnly}` rather than `(…, true, …)`.
+struct RecordLogOptions {
+  OpenMode mode = OpenMode::kReadWrite;
+  /// Durability policy the log itself enforces: kAlways syncs inside
+  /// every append(); kCheckpoint syncs inside append_checkpoint();
+  /// kNone never syncs (callers may still sync() explicitly).
+  FsyncPolicy fsync = FsyncPolicy::kCheckpoint;
+  /// Nullable; receives the `store.recovered` / `store.corrupt_dropped`
+  /// recovery counters.
+  obs::MetricsRegistry* metrics = nullptr;
+};
 
 /// What open() found and fixed; see the file comment.
 struct RecoveryStats {
@@ -78,26 +101,34 @@ class RecordLog {
   using RecordFn =
       std::function<void(std::uint64_t offset, std::string_view payload)>;
 
-  /// Opens (creating if absent in write mode) and scans the whole log,
-  /// invoking `on_record` for every valid payload in file order.
-  /// Recovery truncation happens here, in write mode only.  `metrics`
-  /// (nullable) receives the `store.recovered` / `store.corrupt_dropped`
-  /// counters.
-  RecordLog(const std::string& path, bool read_only, const RecordFn& on_record,
-            obs::MetricsRegistry* metrics = nullptr);
+  /// Opens (creating if absent in kReadWrite mode) and scans the whole
+  /// log, invoking `on_record` for every valid payload in file order.
+  /// Recovery truncation happens here, in kReadWrite mode only.
+  RecordLog(const std::string& path, const RecordFn& on_record,
+            const RecordLogOptions& options = {});
   ~RecordLog();
 
   RecordLog(const RecordLog&) = delete;
   RecordLog& operator=(const RecordLog&) = delete;
 
   /// Appends one framed record; returns its file offset.  Thread-safe.
+  /// Under FsyncPolicy::kAlways the frame is fsynced before returning.
   std::uint64_t append(std::string_view payload);
+
+  /// Appends a record that marks prior appends as durable: under
+  /// kCheckpoint and kAlways, the frame — and every frame appended
+  /// before it — is fsynced before returning, so a checkpoint can never
+  /// outlive on disk the records it summarizes.  kNone skips the sync.
+  std::uint64_t append_checkpoint(std::string_view payload);
 
   /// fsync(2); blocks until every appended frame is on stable storage.
   void sync();
 
   [[nodiscard]] const RecoveryStats& recovery() const { return recovery_; }
-  [[nodiscard]] bool read_only() const { return read_only_; }
+  [[nodiscard]] bool read_only() const {
+    return options_.mode == OpenMode::kReadOnly;
+  }
+  [[nodiscard]] FsyncPolicy fsync_policy() const { return options_.fsync; }
   [[nodiscard]] const std::string& path() const { return path_; }
   /// Current end-of-log offset (== file size after recovery).
   [[nodiscard]] std::uint64_t size_bytes() const;
@@ -108,7 +139,7 @@ class RecordLog {
 
  private:
   std::string path_;
-  bool read_only_ = false;
+  RecordLogOptions options_;
   int fd_ = -1;
   std::uint64_t end_ = 0;  ///< append offset, guarded by mu_
   RecoveryStats recovery_;

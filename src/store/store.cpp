@@ -52,8 +52,12 @@ std::string encode_cell(const CellKey& key, const CellResult& res) {
 EvalStore::EvalStore(std::string path, StoreOptions opt)
     : opt_(std::move(opt)) {
   std::uint64_t decode_failures = 0;
+  RecordLogOptions log_opt;
+  log_opt.mode = opt_.read_only ? OpenMode::kReadOnly : OpenMode::kReadWrite;
+  log_opt.fsync = opt_.fsync;
+  log_opt.metrics = opt_.metrics;
   log_ = std::make_unique<RecordLog>(
-      path, opt_.read_only,
+      path,
       [this, &decode_failures](std::uint64_t offset,
                                std::string_view payload) {
         ByteReader r(payload);
@@ -94,7 +98,7 @@ EvalStore::EvalStore(std::string path, StoreOptions opt)
           ++decode_failures;  // CRC-valid but undecodable: corrupt
         }
       },
-      opt_.metrics);
+      log_opt);
   recovery_ = log_->recovery();
   recovery_.records -= decode_failures;
   recovery_.corrupt_dropped += decode_failures;
@@ -132,10 +136,8 @@ bool EvalStore::put(const Digest& settings_fp, const model::NetworkConfig& cfg,
                    << cfg.label() << ")");
     return false;  // idempotent: already stored
   }
+  // The log enforces the fsync policy itself (kAlways syncs in append).
   const std::uint64_t offset = log_->append(encode_eval(settings_fp, cfg, ev));
-  if (opt_.fsync == FsyncPolicy::kAlways) {
-    log_->sync();
-  }
   if (opt_.metrics != nullptr) {
     opt_.metrics->counter("store.evals_appended").add(1);
   }
@@ -159,12 +161,9 @@ std::optional<CellResult> EvalStore::find_cell(const CellKey& key) const {
 
 void EvalStore::put_cell(const CellKey& key, const CellResult& result) {
   std::lock_guard<std::mutex> lock(mu_);
-  const std::uint64_t offset = log_->append(encode_cell(key, result));
-  if (opt_.fsync != FsyncPolicy::kNone) {
-    // A checkpoint must never be durable without its evaluations, so
-    // the sync covers every frame appended before it as well.
-    log_->sync();
-  }
+  // A checkpoint must never be durable without its evaluations;
+  // append_checkpoint's sync covers every frame appended before it.
+  const std::uint64_t offset = log_->append_checkpoint(encode_cell(key, result));
   if (opt_.metrics != nullptr) {
     opt_.metrics->counter("store.cells_appended").add(1);
   }
@@ -191,6 +190,82 @@ std::size_t EvalStore::preload_into(dse::Evaluator& eval,
   return n;
 }
 
+void EvalStore::for_each_eval(
+    const std::function<void(const Digest&, const model::NetworkConfig&,
+                             const dse::Evaluation&)>& fn) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [key, value] : evals_) {
+    fn(key.first, value.first.cfg, value.first.ev);
+  }
+}
+
+void EvalStore::for_each_cell(
+    const std::function<void(const CellKey&, const CellResult&)>& fn) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [key, value] : cells_) {
+    fn(key, value.first);
+  }
+}
+
+EvalStore::MergeStats EvalStore::merge(
+    const std::vector<std::string>& shard_paths, const std::string& out_path) {
+  MergeStats stats;
+  const std::string tmp = out_path + ".merging";
+  std::remove(tmp.c_str());
+  {
+    StoreOptions out_opt;
+    out_opt.fsync = FsyncPolicy::kNone;  // one sync() before the rename
+    EvalStore out(tmp, out_opt);
+    for (const std::string& shard : shard_paths) {
+      HI_REQUIRE(shard != out_path,
+                 "merge output '" << out_path << "' is also a shard input");
+      ShardMergeStats ss;
+      ss.path = shard;
+      struct ::stat st{};
+      if (::stat(shard.c_str(), &st) != 0) {
+        stats.shards.push_back(std::move(ss));  // absent: skip, keep the row
+        continue;
+      }
+      ss.present = true;
+      // Read-only: a live writer's half-appended tail frame (or real
+      // corruption) is classified and skipped, never repaired here.
+      const EvalStore in(shard, StoreOptions{.read_only = true});
+      ss.records = in.recovery_.records;
+      ss.corrupt_dropped = in.recovery_.corrupt_dropped;
+      ss.tail_truncated = in.recovery_.tail_truncated;
+      ss.desynced = in.recovery_.desynced;
+      in.for_each_eval([&](const Digest& fp, const model::NetworkConfig& cfg,
+                           const dse::Evaluation& ev) {
+        if (out.put(fp, cfg, ev)) {
+          ++ss.evals_added;
+        } else {
+          ++ss.duplicate_evals;  // another shard already paid for it
+        }
+      });
+      in.for_each_cell([&](const CellKey& key, const CellResult& res) {
+        if (out.find_cell(key)) {
+          // A checkpoint for this cell already merged (a stolen row's
+          // re-run): identical summary, keep the single frame.
+          ++ss.superseded_cells;
+        } else {
+          ++ss.cells_added;
+          out.put_cell(key, res);
+        }
+      });
+      stats.duplicate_evals += ss.duplicate_evals;
+      stats.superseded_cells += ss.superseded_cells;
+      stats.shards.push_back(std::move(ss));
+    }
+    stats.evals = out.eval_count();
+    stats.cells = out.cell_count();
+    stats.frames = stats.evals + stats.cells;
+    out.sync();
+  }
+  HI_REQUIRE(std::rename(tmp.c_str(), out_path.c_str()) == 0,
+             "shard merge rename failed: " << std::strerror(errno));
+  return stats;
+}
+
 EvalStore::CompactStats EvalStore::compact(const std::string& path) {
   CompactStats stats;
   // Read the current state (recovery included) ...
@@ -201,7 +276,8 @@ EvalStore::CompactStats EvalStore::compact(const std::string& path) {
   const std::string tmp = path + ".compacting";
   std::remove(tmp.c_str());
   {
-    RecordLog fresh(tmp, /*read_only=*/false, nullptr);
+    RecordLog fresh(tmp, nullptr,
+                    {.mode = OpenMode::kReadWrite, .fsync = FsyncPolicy::kNone});
     for (const auto& [key, value] : old.evals_) {
       fresh.append(encode_eval(key.first, value.first.cfg, value.first.ev));
     }

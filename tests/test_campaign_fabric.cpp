@@ -1,0 +1,292 @@
+// The campaign fabric's headline property, proven end to end: kill a
+// worker mid-campaign and a resume completes the grid with ZERO lost
+// and ZERO duplicated evaluations — the merged store holds exactly the
+// evaluations a cold single-process run pays for, every shard's
+// contribution is disjoint, and the recovery shows up in the fleet
+// report as a recovery (not silent re-work).
+//
+// Two layers are exercised: run_fleet() driven in-process (structured
+// FleetReport assertions, self-kill fault injection), and the real CLI
+// driven over fork/exec with an EXTERNAL SIGKILL delivered through the
+// worker pid file (the operator's view: exit code 3, then --resume
+// exit code 0).
+#include <gtest/gtest.h>
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "campaign/plan.hpp"
+#include "campaign/report.hpp"
+#include "campaign/runner.hpp"
+#include "store/store.hpp"
+
+namespace {
+
+using namespace hi;
+using campaign::CampaignPlan;
+using campaign::PlanSpec;
+
+void remove_tree(const std::string& dir) {
+  const std::string cmd = "rm -rf '" + dir + "'";
+  [[maybe_unused]] const int rc = std::system(cmd.c_str());
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return std::move(buf).str();
+}
+
+/// Completed-cell / evaluation counts of a store, (0,0) if unreadable.
+std::pair<std::uint64_t, std::uint64_t> store_counts(const std::string& path) {
+  try {
+    store::StoreOptions opt;
+    opt.read_only = true;
+    const store::EvalStore st(path, opt);
+    return {st.eval_count(), st.cell_count()};
+  } catch (const Error&) {
+    return {0, 0};
+  }
+}
+
+std::uint64_t sum_shard_evals(const std::string& dir) {
+  std::uint64_t n = 0;
+  for (const std::string& shard : campaign::list_shards(dir)) {
+    n += store_counts(shard).first;
+  }
+  return n;
+}
+
+PlanSpec fabric_spec() {
+  PlanSpec spec;
+  spec.gen_seeds = {5, 6, 7};   // three rows: one per worker
+  spec.pdr_grid = {0.5, 0.7};   // two cells per row
+  return spec;
+}
+
+TEST(CampaignFabric, KillOneOfThreeThenResumeWithZeroLostZeroDuplicated) {
+  const std::string dir = "fabric_lib_dir";
+  const std::string cold_store = "fabric_lib_cold.store";
+  remove_tree(dir);
+  std::remove(cold_store.c_str());
+
+  std::string err;
+  const auto plan = CampaignPlan::build(fabric_spec(), &err);
+  ASSERT_TRUE(plan) << err;
+
+  // Ground truth: what a cold single-process campaign pays for.
+  campaign::RunConfig cold_cfg;
+  cold_cfg.store_path = cold_store;
+  const campaign::CampaignReport cold =
+      campaign::run_single(*plan, cold_cfg, nullptr);
+  const std::uint64_t cold_evals = cold.stored_evals;
+  ASSERT_GT(cold_evals, 0u);
+
+  // Fleet run 1: three workers, worker 0 SIGKILLs itself after its
+  // first checkpoint; stealing is off, so its row stays incomplete.
+  campaign::RunConfig cfg;
+  cfg.shard_dir = dir;
+  cfg.workers = 3;
+  cfg.steal = false;
+  cfg.kill_slot = 0;
+  cfg.kill_after_cells = 1;
+  cfg.cell_delay_ms = 50;  // keeps rows in flight long enough that
+                           // every worker claims one
+  const campaign::FleetReport first = campaign::run_fleet(*plan, cfg, nullptr);
+  ASSERT_FALSE(first.complete);
+  EXPECT_EQ(first.planned_cells, 6u);
+  EXPECT_EQ(first.checkpointed_cells, 5u);  // the killed cell survives
+  ASSERT_EQ(first.worker_reports.size(), 3u);
+  EXPECT_EQ(first.worker_reports[0].term_signal, SIGKILL);
+  EXPECT_FALSE(first.worker_reports[0].reported);  // pipe left empty
+  EXPECT_TRUE(first.merge.clean());
+  const std::uint64_t evals_before_resume = sum_shard_evals(dir);
+
+  // Fleet run 2: resume with stealing on.  The dead worker's claim is
+  // recovered (prior run_id, dead pid), its checkpoint and evaluations
+  // are reused from its shard, and only the missing cell is simulated.
+  cfg.steal = true;
+  cfg.kill_slot = -1;
+  cfg.cell_delay_ms = 0;
+  obs::MetricsRegistry metrics;
+  const campaign::FleetReport second =
+      campaign::run_fleet(*plan, cfg, &metrics);
+  ASSERT_TRUE(second.complete);
+  EXPECT_EQ(second.checkpointed_cells, 6u);
+  const campaign::WorkerReport totals = second.totals();
+  EXPECT_GE(totals.recoveries, 1u) << "the takeover must be visible";
+  EXPECT_EQ(totals.steals, 0u);
+
+  // Zero lost, zero duplicated: the merged store is exactly the cold
+  // store's evaluation set, every shard contributed disjoint records,
+  // and the resume paid only for what was never durable anywhere.
+  EXPECT_EQ(second.merge.duplicate_evals, 0u);
+  EXPECT_EQ(second.merge.superseded_cells, 0u);
+  const auto [merged_evals, merged_cells] =
+      store_counts(campaign::merged_path(dir));
+  EXPECT_EQ(merged_evals, cold_evals);
+  EXPECT_EQ(merged_cells, 6u);
+  EXPECT_EQ(sum_shard_evals(dir), merged_evals);
+  EXPECT_EQ(evals_before_resume + totals.fresh_simulations, cold_evals);
+  EXPECT_TRUE(store::EvalStore::audit(campaign::merged_path(dir)).clean());
+  EXPECT_GT(metrics.snapshot().counter("campaign.merge_frames"), 0u);
+
+  // fleet.json is persisted for the operator.
+  const std::string fleet_json = read_file(campaign::fleet_json_path(dir));
+  EXPECT_NE(fleet_json.find("\"complete\": true"), std::string::npos);
+
+  // Fleet run 3: a no-op — every row carries a done marker, nothing is
+  // claimed, nothing is simulated.
+  const campaign::FleetReport third = campaign::run_fleet(*plan, cfg, nullptr);
+  ASSERT_TRUE(third.complete);
+  EXPECT_EQ(third.totals().rows_claimed, 0u);
+  EXPECT_EQ(third.totals().cells_done, 0u);
+  EXPECT_EQ(third.totals().fresh_simulations, 0u);
+
+  remove_tree(dir);
+  std::remove(cold_store.c_str());
+}
+
+TEST(CampaignFabric, InRunStealCompletesWithoutResume) {
+  // Stealing ON from the start: when a worker dies, a survivor takes
+  // over the row in-run (same run_id -> counted as a steal) and the
+  // single fleet run still completes the whole grid.
+  const std::string dir = "fabric_steal_dir";
+  remove_tree(dir);
+  std::string err;
+  PlanSpec spec;
+  spec.gen_seeds = {5, 6};
+  spec.pdr_grid = {0.5, 0.7};
+  const auto plan = CampaignPlan::build(spec, &err);
+  ASSERT_TRUE(plan) << err;
+
+  campaign::RunConfig cfg;
+  cfg.shard_dir = dir;
+  cfg.workers = 2;
+  cfg.lease_ms = 300;  // a dead pid is detected immediately anyway
+  cfg.kill_slot = 0;
+  cfg.kill_after_cells = 1;
+  cfg.cell_delay_ms = 50;
+  const campaign::FleetReport fleet = campaign::run_fleet(*plan, cfg, nullptr);
+  ASSERT_TRUE(fleet.complete) << fleet.to_json();
+  EXPECT_EQ(fleet.worker_reports[0].term_signal, SIGKILL);
+  const campaign::WorkerReport totals = fleet.totals();
+  EXPECT_GE(totals.steals + totals.recoveries, 1u);
+  EXPECT_EQ(fleet.merge.duplicate_evals, 0u);
+  EXPECT_TRUE(store::EvalStore::audit(campaign::merged_path(dir)).clean());
+  remove_tree(dir);
+}
+
+// ---------------------------------------------------------------------
+// CLI layer: the operator's workflow, external SIGKILL included.
+
+pid_t spawn_campaign(const std::vector<std::string>& args,
+                     const std::string& out_path) {
+  std::vector<std::string> argv_s;
+  argv_s.emplace_back(HI_CAMPAIGN_BIN);
+  argv_s.insert(argv_s.end(), args.begin(), args.end());
+  std::vector<char*> argv;
+  argv.reserve(argv_s.size() + 1);
+  for (std::string& s : argv_s) {
+    argv.push_back(s.data());
+  }
+  argv.push_back(nullptr);
+
+  const pid_t pid = ::fork();
+  if (pid == 0) {
+    const int fd =
+        ::open(out_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd >= 0) {
+      ::dup2(fd, STDOUT_FILENO);
+      ::close(fd);
+    }
+    ::execv(HI_CAMPAIGN_BIN, argv.data());
+    _exit(127);  // exec failed
+  }
+  return pid;
+}
+
+int wait_exit(pid_t pid) {
+  int status = 0;
+  ::waitpid(pid, &status, 0);
+  return WIFEXITED(status) ? WEXITSTATUS(status) : -WTERMSIG(status);
+}
+
+TEST(CampaignFabricCli, ExternalSigkillThenResumeExitCodes) {
+  const std::string dir = "fabric_cli_dir";
+  const std::string out = "fabric_cli.json";
+  remove_tree(dir);
+
+  const std::vector<std::string> grid = {"--gen-seed", "5", "--gen-seed", "6",
+                                         "--pdr-min", "0.5,0.7", "--json"};
+  // Long inter-cell delays widen the kill window; --no-steal pins the
+  // dead worker's row so the run must end incomplete (exit 3).
+  std::vector<std::string> args = {"--shard-dir",     dir,    "--workers",
+                                   "3",               "--no-steal",
+                                   "--cell-delay-ms", "1500"};
+  args.insert(args.end(), grid.begin(), grid.end());
+  const pid_t fleet_pid = spawn_campaign(args, out);
+  ASSERT_GT(fleet_pid, 0);
+
+  // Wait for the first checkpoint to land in some shard, then SIGKILL
+  // that shard's worker via its pid file — mid-sleep, like a real crash.
+  int victim_slot = -1;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(60);
+  while (std::chrono::steady_clock::now() < deadline && victim_slot < 0) {
+    for (const std::string& shard : campaign::list_shards(dir)) {
+      if (store_counts(shard).second >= 1) {
+        const std::size_t at = shard.find("shard-") + 6;
+        victim_slot = std::stoi(shard.substr(at));
+        break;
+      }
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  ASSERT_GE(victim_slot, 0) << "no worker ever checkpointed a cell";
+  const std::string pid_text =
+      read_file(campaign::worker_pid_path(dir, victim_slot));
+  const pid_t victim = static_cast<pid_t>(std::stol(pid_text));
+  ASSERT_GT(victim, 0);
+  ASSERT_EQ(::kill(victim, SIGKILL), 0);
+
+  ASSERT_EQ(wait_exit(fleet_pid), 3) << read_file(out);
+  const std::string first = read_file(out);
+  EXPECT_NE(first.find("\"complete\": false"), std::string::npos) << first;
+  EXPECT_NE(first.find("\"term_signal\": 9"), std::string::npos) << first;
+
+  // Resume with stealing (the default): the dead worker's claim is
+  // recovered and the fleet completes — exit 0.
+  std::vector<std::string> resume_args = {"--shard-dir", dir, "--workers",
+                                          "2", "--resume"};
+  resume_args.insert(resume_args.end(), grid.begin(), grid.end());
+  ASSERT_EQ(wait_exit(spawn_campaign(resume_args, out)), 0) << read_file(out);
+  const std::string resumed = read_file(out);
+  EXPECT_NE(resumed.find("\"complete\": true"), std::string::npos) << resumed;
+  // The totals block is last in the report; the takeover is visible.
+  const std::size_t totals_at = resumed.rfind("\"totals\"");
+  ASSERT_NE(totals_at, std::string::npos);
+  const std::size_t rec_at = resumed.find("\"recoveries\": ", totals_at);
+  ASSERT_NE(rec_at, std::string::npos);
+  EXPECT_GE(std::stol(resumed.substr(rec_at + 14)), 1) << resumed;
+
+  EXPECT_TRUE(store::EvalStore::audit(campaign::merged_path(dir)).clean());
+  EXPECT_NE(read_file(campaign::fleet_json_path(dir)).find("\"complete\": true"),
+            std::string::npos);
+  remove_tree(dir);
+  std::remove(out.c_str());
+}
+
+}  // namespace

@@ -18,7 +18,9 @@
 namespace {
 
 using namespace hi;
+using store::OpenMode;
 using store::RecordLog;
+using store::RecordLogOptions;
 using store::RecoveryStats;
 
 constexpr std::size_t kFileHeader = 12;  // magic(8) + format version(4)
@@ -53,12 +55,15 @@ OpenResult open_and_scan(const std::string& path, bool read_only = false) {
   OpenResult out;
   obs::MetricsRegistry metrics;
   {
+    RecordLogOptions opt;
+    opt.mode = read_only ? OpenMode::kReadOnly : OpenMode::kReadWrite;
+    opt.metrics = &metrics;
     RecordLog log(
-        path, read_only,
+        path,
         [&](std::uint64_t, std::string_view payload) {
           out.payloads.emplace_back(payload);
         },
-        &metrics);
+        opt);
     out.stats = log.recovery();
   }
   const obs::Snapshot snap = metrics.snapshot();
@@ -77,7 +82,7 @@ TEST(RecordLog, AppendAndReopenRoundTrip) {
   const std::string path = temp_path("roundtrip");
   std::remove(path.c_str());
   {
-    RecordLog log(path, /*read_only=*/false, nullptr);
+    RecordLog log(path, nullptr);
     EXPECT_EQ(log.append("alpha"), kFileHeader);
     log.append(std::string(1000, 'x'));
     log.append("");  // empty payloads are legal frames
@@ -95,13 +100,13 @@ TEST(RecordLog, AppendAndReopenRoundTrip) {
 TEST(RecordLog, RejectsOversizedAppendAndForeignFiles) {
   const std::string path = temp_path("reject");
   std::remove(path.c_str());
-  RecordLog log(path, false, nullptr);
+  RecordLog log(path, nullptr);
   EXPECT_THROW(log.append(std::string(RecordLog::kMaxPayloadBytes + 1, 'y')),
                hi::Error);
 
   const std::string foreign = temp_path("foreign");
   write_file(foreign, "this is not a record log, do not clear it");
-  EXPECT_THROW(RecordLog(foreign, false, nullptr), hi::Error);
+  EXPECT_THROW(RecordLog(foreign, nullptr), hi::Error);
   std::remove(foreign.c_str());
   std::remove(path.c_str());
 }
@@ -114,7 +119,7 @@ TEST(RecordLog, TornWriteTruncationAtEveryByteBoundary) {
   std::remove(path.c_str());
   std::uint64_t last_start = 0;
   {
-    RecordLog log(path, false, nullptr);
+    RecordLog log(path, nullptr);
     log.append("first-record");
     log.append("second-record");
     last_start = log.append("the-final-record-that-gets-torn");
@@ -154,7 +159,7 @@ TEST(RecordLog, BitFlipMatrixOverMiddleRecord) {
   std::uint64_t mid_start = 0;
   std::uint64_t last_start = 0;
   {
-    RecordLog log(path, false, nullptr);
+    RecordLog log(path, nullptr);
     log.append("record-one-stays");
     mid_start = log.append("record-two-gets-poisoned");
     last_start = log.append("record-three-after-the-damage");
@@ -208,6 +213,40 @@ TEST(RecordLog, FsyncPolicyToString) {
   EXPECT_STREQ(store::to_string(store::FsyncPolicy::kCheckpoint),
                "checkpoint");
   EXPECT_STREQ(store::to_string(store::FsyncPolicy::kAlways), "always");
+  EXPECT_STREQ(store::to_string(OpenMode::kReadWrite), "read-write");
+  EXPECT_STREQ(store::to_string(OpenMode::kReadOnly), "read-only");
+}
+
+// The options struct carries the fsync policy, and the log enforces it
+// itself: every policy yields the same bytes (durability timing is the
+// only difference), checkpoints are appends like any other, and the
+// policy/mode accessors echo what the open was given.
+TEST(RecordLog, OptionsCarryModeAndFsyncPolicy) {
+  const std::string path = temp_path("options");
+  for (const store::FsyncPolicy policy :
+       {store::FsyncPolicy::kNone, store::FsyncPolicy::kCheckpoint,
+        store::FsyncPolicy::kAlways}) {
+    std::remove(path.c_str());
+    std::uint64_t first = 0;
+    {
+      RecordLog log(path, nullptr, {.fsync = policy});
+      EXPECT_FALSE(log.read_only());
+      EXPECT_EQ(log.fsync_policy(), policy);
+      first = log.append("plain");
+      EXPECT_GT(log.append_checkpoint("checkpointed"), first);
+    }
+    const OpenResult r = open_and_scan(path, /*read_only=*/true);
+    ASSERT_EQ(r.payloads.size(), 2u) << store::to_string(policy);
+    EXPECT_EQ(r.payloads[0], "plain");
+    EXPECT_EQ(r.payloads[1], "checkpointed");
+    EXPECT_TRUE(r.stats.clean());
+  }
+  {
+    RecordLog log(path, nullptr, {.mode = OpenMode::kReadOnly});
+    EXPECT_TRUE(log.read_only());
+    EXPECT_THROW(log.append("nope"), hi::Error);
+  }
+  std::remove(path.c_str());
 }
 
 // Store-level compaction drops superseded duplicates and skipped-corrupt

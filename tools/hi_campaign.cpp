@@ -1,68 +1,38 @@
-// hi_campaign — the resumable multi-scenario campaign runner.
+// hi_campaign — the resumable (and now sharded multi-process) campaign
+// runner.  This file is deliberately a thin argv shim: all campaign
+// logic lives in hi::campaign (src/campaign/) — CampaignPlan resolves
+// the grid, run_single()/run_fleet() execute it, and the report types
+// own the output formats.  Tests drive the library directly; this
+// binary only parses flags and maps results to exit codes.
 //
-// Fans a grid of (scenario × PDRmin) cells through one explorer, sharing
-// a single durable hi::store::EvalStore across all of them: every cell's
-// evaluator is warm-started from the store (results other cells — or
-// previous runs — already paid for are served as dse.store_hits, not
-// re-simulated), every fresh simulation is written through as it
-// happens, and every finished cell is checkpointed with an fsync.  Kill
-// the process at any point and `--resume` picks up where it left off:
-// checkpointed cells are skipped outright (zero re-simulation) and
-// interrupted cells replay from the stored evaluations.
-//
-//   hi_campaign --store FILE [options]        run a campaign
+//   hi_campaign --store FILE [options]        single-process campaign
+//   hi_campaign --shard-dir DIR --workers N   sharded worker fleet with
+//                                             work-stealing dispatch
+//   hi_campaign --merge DIR                   fold DIR's shard stores
+//                                             into DIR/merged.store
 //   hi_campaign --audit FILE                  integrity-scan a store
 //   hi_campaign --compact FILE                rewrite a store, dropping
 //                                             superseded/corrupt records
 //   hi_campaign --dump-scenario               print the paper's Sec. 4.1
 //                                             scenario as editable JSON
 //
-// Scenarios come from JSON files (--scenario, the scenario_to_json
-// interchange form) and/or the hi::check generator (--gen-seed); with
-// neither, the paper's Sec. 4.1 scenario is the grid's single row.
-#include <chrono>
+// Exit codes: 0 success (fleet: campaign complete), 2 usage error,
+// 3 fleet ran but the grid is incomplete (re-run with --resume).
 #include <cstdint>
 #include <cstdlib>
-#include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
-#include <thread>
 #include <vector>
 
-#include "check/scenario_gen.hpp"
-#include "dse/explorer.hpp"
-#include "model/design_space.hpp"
+#include "campaign/plan.hpp"
+#include "campaign/report.hpp"
+#include "campaign/runner.hpp"
 #include "obs/metrics.hpp"
 #include "store/serialize.hpp"
 #include "store/store.hpp"
 
 namespace {
-
-using hi::store::Digest;
-
-struct ScenarioEntry {
-  std::string name;
-  hi::model::Scenario scenario;
-  hi::dse::EvaluatorSettings settings;
-};
-
-struct Options {
-  std::string store_path;
-  std::vector<std::string> scenario_files;
-  std::vector<std::uint64_t> gen_seeds;
-  std::vector<double> pdr_grid{0.5, 0.7, 0.9};
-  hi::dse::ExplorerKind explorer = hi::dse::ExplorerKind::kAlgorithm1;
-  int budget = -1;
-  int threads = 0;
-  double tsim_s = 600.0;
-  int runs = 3;
-  std::uint64_t seed = 1;
-  hi::store::FsyncPolicy fsync = hi::store::FsyncPolicy::kCheckpoint;
-  bool resume = false;
-  bool json = false;
-  int cell_delay_ms = 0;  ///< test hook: widen the window between cells
-};
 
 bool parse_u64(const char* s, std::uint64_t& out) {
   char* end = nullptr;
@@ -95,7 +65,9 @@ bool parse_pdr_grid(const std::string& list, std::vector<double>& out) {
 int usage(const char* argv0) {
   std::cerr
       << "usage: " << argv0 << " --store FILE [options]\n"
-      << "       " << argv0 << " --audit FILE | --compact FILE\n"
+      << "       " << argv0 << " --shard-dir DIR --workers N [options]\n"
+      << "       " << argv0
+      << " --audit FILE | --compact FILE | --merge DIR\n"
       << "       " << argv0 << " --dump-scenario\n"
       << "\n"
       << "campaign options:\n"
@@ -112,163 +84,104 @@ int usage(const char* argv0) {
       << "  --fsync MODE      none | checkpoint | always (default checkpoint)\n"
       << "  --resume          skip cells already checkpointed in the store\n"
       << "  --json            machine-readable report on stdout\n"
-      << "  --cell-delay-ms N sleep after each completed cell (test hook)\n";
+      << "  --cell-delay-ms N sleep after each completed cell (test hook)\n"
+      << "\n"
+      << "fleet options (with --shard-dir):\n"
+      << "  --workers N       worker processes (each owns one shard store)\n"
+      << "  --lease-ms N      claim lease before a silent worker is stolen\n"
+      << "                    from (default 2000)\n"
+      << "  --no-steal        never take over stale claims (crash -> exit 3;\n"
+      << "                    finish with --resume)\n"
+      << "  --kill-slot N     fault injection: worker N SIGKILLs itself...\n"
+      << "  --kill-after-cells N  ...after completing N cells (test hook)\n";
   return 2;
-}
-
-std::string json_escape(std::string_view s) {
-  std::string out;
-  for (const char c : s) {
-    if (c == '"' || c == '\\') {
-      out.push_back('\\');
-      out.push_back(c);
-    } else if (static_cast<unsigned char>(c) < 0x20) {
-      char buf[8];
-      std::snprintf(buf, sizeof buf, "\\u%04x", c);
-      out += buf;
-    } else {
-      out.push_back(c);
-    }
-  }
-  return out;
-}
-
-/// One row of the final report.
-struct CellReport {
-  std::string scenario;
-  double pdr_min = 0.0;
-  bool skipped = false;  ///< served from a --resume checkpoint
-  hi::store::CellResult result;
-  std::uint64_t store_hits = 0;  ///< store-served points (0 when skipped)
-};
-
-void print_report(const Options& opt, const hi::store::EvalStore& store,
-                  const std::vector<CellReport>& cells) {
-  std::uint64_t total_sims = 0;
-  std::uint64_t total_store_hits = 0;
-  std::size_t skipped = 0;
-  for (const CellReport& c : cells) {
-    total_sims += c.skipped ? 0 : c.result.simulations;
-    total_store_hits += c.store_hits;
-    skipped += c.skipped ? 1 : 0;
-  }
-  if (opt.json) {
-    std::ostream& os = std::cout;
-    os << "{\n  \"store\": \"" << json_escape(store.path()) << "\",\n"
-       << "  \"recovery\": {\"records\": " << store.recovery().records
-       << ", \"corrupt_dropped\": " << store.recovery().corrupt_dropped
-       << ", \"tail_truncated\": "
-       << (store.recovery().tail_truncated ? "true" : "false") << "},\n"
-       << "  \"cells\": [\n";
-    for (std::size_t i = 0; i < cells.size(); ++i) {
-      const CellReport& c = cells[i];
-      os << "    {\"scenario\": \"" << json_escape(c.scenario)
-         << "\", \"pdr_min\": " << c.pdr_min
-         << ", \"skipped\": " << (c.skipped ? "true" : "false")
-         << ", \"feasible\": " << (c.result.feasible ? "true" : "false")
-         << ", \"best\": \"" << json_escape(c.result.best.label())
-         << "\", \"best_power_mw\": " << c.result.best_power_mw
-         << ", \"best_pdr\": " << c.result.best_pdr
-         << ", \"simulations\": " << c.result.simulations
-         << ", \"store_hits\": " << c.store_hits << "}"
-         << (i + 1 < cells.size() ? "," : "") << "\n";
-    }
-    os << "  ],\n"
-       << "  \"totals\": {\"cells\": " << cells.size()
-       << ", \"skipped\": " << skipped
-       << ", \"fresh_simulations\": " << total_sims
-       << ", \"store_hits\": " << total_store_hits
-       << ", \"stored_evals\": " << store.eval_count()
-       << ", \"stored_cells\": " << store.cell_count() << "}\n}\n";
-    return;
-  }
-  for (const CellReport& c : cells) {
-    std::cout << c.scenario << " @ PDRmin=" << c.pdr_min << ": ";
-    if (c.skipped) {
-      std::cout << "checkpointed (skipped), ";
-    }
-    if (c.result.feasible) {
-      std::cout << c.result.best.label() << "  P=" << c.result.best_power_mw
-                << " mW  PDR=" << c.result.best_pdr;
-    } else {
-      std::cout << "infeasible";
-    }
-    std::cout << "  [sims=" << c.result.simulations
-              << " store_hits=" << c.store_hits << "]\n";
-  }
-  std::cout << "campaign: " << cells.size() << " cells (" << skipped
-            << " resumed), " << total_sims << " fresh simulations, "
-            << total_store_hits << " store hits; store holds "
-            << store.eval_count() << " evaluations / " << store.cell_count()
-            << " cell checkpoints\n";
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  Options opt;
+  hi::campaign::PlanSpec spec;
+  hi::campaign::RunConfig cfg;
   std::string audit_path;
   std::string compact_path;
+  std::string merge_dir;
   bool dump_scenario = false;
+  bool json = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     std::uint64_t u = 0;
     const bool has_value = i + 1 < argc;
     if (arg == "--store" && has_value) {
-      opt.store_path = argv[++i];
+      cfg.store_path = argv[++i];
+    } else if (arg == "--shard-dir" && has_value) {
+      cfg.shard_dir = argv[++i];
+    } else if (arg == "--workers" && has_value && parse_u64(argv[++i], u)) {
+      cfg.workers = static_cast<int>(u);
+    } else if (arg == "--lease-ms" && has_value && parse_u64(argv[++i], u) &&
+               u > 0) {
+      cfg.lease_ms = static_cast<int>(u);
+    } else if (arg == "--no-steal") {
+      cfg.steal = false;
+    } else if (arg == "--kill-slot" && has_value && parse_u64(argv[++i], u)) {
+      cfg.kill_slot = static_cast<int>(u);
+    } else if (arg == "--kill-after-cells" && has_value &&
+               parse_u64(argv[++i], u) && u > 0) {
+      cfg.kill_after_cells = u;
     } else if (arg == "--audit" && has_value) {
       audit_path = argv[++i];
     } else if (arg == "--compact" && has_value) {
       compact_path = argv[++i];
+    } else if (arg == "--merge" && has_value) {
+      merge_dir = argv[++i];
     } else if (arg == "--dump-scenario") {
       dump_scenario = true;
     } else if (arg == "--scenario" && has_value) {
-      opt.scenario_files.emplace_back(argv[++i]);
+      spec.scenario_files.emplace_back(argv[++i]);
     } else if (arg == "--gen-seed" && has_value && parse_u64(argv[++i], u)) {
-      opt.gen_seeds.push_back(u);
+      spec.gen_seeds.push_back(u);
     } else if (arg == "--pdr-min" && has_value &&
-               parse_pdr_grid(argv[i + 1], opt.pdr_grid)) {
+               parse_pdr_grid(argv[i + 1], spec.pdr_grid)) {
       ++i;
     } else if (arg == "--explorer" && has_value) {
       const std::string name = argv[++i];
       if (name == "alg1") {
-        opt.explorer = hi::dse::ExplorerKind::kAlgorithm1;
+        spec.explorer = hi::dse::ExplorerKind::kAlgorithm1;
       } else if (name == "exhaustive") {
-        opt.explorer = hi::dse::ExplorerKind::kExhaustive;
+        spec.explorer = hi::dse::ExplorerKind::kExhaustive;
       } else if (name == "annealing") {
-        opt.explorer = hi::dse::ExplorerKind::kAnnealing;
+        spec.explorer = hi::dse::ExplorerKind::kAnnealing;
       } else {
         return usage(argv[0]);
       }
     } else if (arg == "--budget" && has_value && parse_u64(argv[++i], u)) {
-      opt.budget = static_cast<int>(u);
+      spec.budget = static_cast<int>(u);
     } else if (arg == "--threads" && has_value && parse_u64(argv[++i], u)) {
-      opt.threads = static_cast<int>(u);
+      spec.threads = static_cast<int>(u);
     } else if (arg == "--tsim" && has_value &&
-               parse_f64(argv[i + 1], opt.tsim_s)) {
+               parse_f64(argv[i + 1], spec.tsim_s)) {
       ++i;
     } else if (arg == "--runs" && has_value && parse_u64(argv[++i], u)) {
-      opt.runs = static_cast<int>(u);
+      spec.runs = static_cast<int>(u);
     } else if (arg == "--seed" && has_value && parse_u64(argv[++i], u)) {
-      opt.seed = u;
+      spec.seed = u;
     } else if (arg == "--fsync" && has_value) {
       const std::string mode = argv[++i];
       if (mode == "none") {
-        opt.fsync = hi::store::FsyncPolicy::kNone;
+        cfg.fsync = hi::store::FsyncPolicy::kNone;
       } else if (mode == "checkpoint") {
-        opt.fsync = hi::store::FsyncPolicy::kCheckpoint;
+        cfg.fsync = hi::store::FsyncPolicy::kCheckpoint;
       } else if (mode == "always") {
-        opt.fsync = hi::store::FsyncPolicy::kAlways;
+        cfg.fsync = hi::store::FsyncPolicy::kAlways;
       } else {
         return usage(argv[0]);
       }
     } else if (arg == "--resume") {
-      opt.resume = true;
+      cfg.resume = true;
     } else if (arg == "--json") {
-      opt.json = true;
+      json = true;
     } else if (arg == "--cell-delay-ms" && has_value &&
                parse_u64(argv[++i], u)) {
-      opt.cell_delay_ms = static_cast<int>(u);
+      cfg.cell_delay_ms = static_cast<int>(u);
     } else {
       return usage(argv[0]);
     }
@@ -296,108 +209,46 @@ int main(int argc, char** argv) {
               << st.bytes_after << " bytes\n";
     return 0;
   }
-  if (opt.store_path.empty()) {
+  if (!merge_dir.empty()) {
+    const auto st = hi::store::EvalStore::merge(
+        hi::campaign::list_shards(merge_dir),
+        hi::campaign::merged_path(merge_dir));
+    std::cout << "merged " << st.shards.size() << " shard(s): " << st.evals
+              << " evaluations / " << st.cells << " checkpoints ("
+              << st.duplicate_evals << " duplicate evals, "
+              << st.superseded_cells << " duplicate checkpoints folded)"
+              << (st.clean() ? "" : "  [shard damage dropped]") << " -> "
+              << hi::campaign::merged_path(merge_dir) << "\n";
+    return st.clean() ? 0 : 1;
+  }
+
+  const bool fleet_mode = !cfg.shard_dir.empty() || cfg.workers > 0;
+  if (fleet_mode && (cfg.shard_dir.empty() || cfg.workers < 1)) {
+    return usage(argv[0]);
+  }
+  if (!fleet_mode && cfg.store_path.empty()) {
     return usage(argv[0]);
   }
 
-  // Assemble the scenario rows.
-  std::vector<ScenarioEntry> rows;
-  hi::dse::EvaluatorSettings base;
-  base.sim.duration_s = opt.tsim_s;
-  base.sim.seed = opt.seed;
-  base.runs = opt.runs;
-  for (const std::string& file : opt.scenario_files) {
-    std::ifstream in(file);
-    if (!in) {
-      std::cerr << "error: cannot open scenario file '" << file << "'\n";
-      return 2;
-    }
-    std::stringstream buf;
-    buf << in.rdbuf();
-    std::string err;
-    const auto sc = hi::store::scenario_from_json(buf.str(), &err);
-    if (!sc) {
-      std::cerr << "error: " << file << ": " << err << "\n";
-      return 2;
-    }
-    rows.push_back({file, *sc, base});
-  }
-  for (const std::uint64_t seed : opt.gen_seeds) {
-    hi::check::ScenarioSpec spec = hi::check::make_scenario(seed);
-    rows.push_back({"gen-" + std::to_string(seed), spec.scenario,
-                    std::move(spec.settings)});
-  }
-  if (rows.empty()) {
-    rows.push_back({"paper-4.1", hi::model::Scenario{}, base});
+  std::string err;
+  const auto plan = hi::campaign::CampaignPlan::build(spec, &err);
+  if (!plan) {
+    std::cerr << "error: " << err << "\n";
+    return 2;
   }
 
   hi::obs::MetricsRegistry metrics;
-  hi::store::StoreOptions store_opt;
-  store_opt.fsync = opt.fsync;
-  store_opt.metrics = &metrics;
-  hi::store::EvalStore store(opt.store_path, store_opt);
-  if (!store.recovery().clean() && !opt.json) {
-    std::cout << "store recovery: dropped "
-              << store.recovery().corrupt_dropped << " corrupt record(s), "
-              << "truncated " << store.recovery().truncated_bytes
-              << " trailing byte(s)\n";
+  if (fleet_mode) {
+    const hi::campaign::FleetReport fleet =
+        hi::campaign::run_fleet(*plan, cfg, &metrics);
+    fleet.print(std::cout, json);
+    return fleet.complete ? 0 : 3;
   }
-
-  const hi::dse::Explorer explorer = [&] {
-    switch (opt.explorer) {
-      case hi::dse::ExplorerKind::kExhaustive:
-        return hi::dse::Explorer::exhaustive();
-      case hi::dse::ExplorerKind::kAnnealing:
-        return hi::dse::Explorer::annealing();
-      case hi::dse::ExplorerKind::kAlgorithm1:
-        break;
-    }
-    return hi::dse::Explorer::algorithm1();
-  }();
-
-  std::vector<CellReport> cells;
-  for (const ScenarioEntry& row : rows) {
-    const Digest scenario_fp = hi::store::scenario_fingerprint(row.scenario);
-    hi::dse::Evaluator eval(row.settings);
-    const hi::store::WarmStartStats warm = hi::store::warm_start(eval, store);
-    for (const double pdr_min : opt.pdr_grid) {
-      hi::dse::ExplorationOptions run_opt;
-      run_opt.pdr_min = pdr_min;
-      run_opt.budget = opt.budget;
-      run_opt.threads = opt.threads;
-      run_opt.metrics = &metrics;
-      const hi::store::CellKey key{
-          scenario_fp, warm.settings_fp,
-          hi::store::options_fingerprint(run_opt, opt.explorer), pdr_min};
-      CellReport report;
-      report.scenario = row.name;
-      report.pdr_min = pdr_min;
-      if (opt.resume) {
-        if (const auto done = store.find_cell(key)) {
-          report.skipped = true;
-          report.result = *done;
-          cells.push_back(std::move(report));
-          continue;
-        }
-      }
-      const hi::dse::ExplorationResult res =
-          explorer.run(row.scenario, eval, run_opt);
-      report.result.feasible = res.feasible;
-      report.result.best = res.best;
-      report.result.best_power_mw = res.best_power_mw;
-      report.result.best_pdr = res.best_pdr;
-      report.result.best_nlt_s = res.best_nlt_s;
-      report.result.simulations = res.simulations;
-      report.result.iterations = res.iterations;
-      report.store_hits = res.metrics.counter("dse.store_hits");
-      store.put_cell(key, report.result);  // fsynced checkpoint
-      cells.push_back(std::move(report));
-      if (opt.cell_delay_ms > 0) {
-        std::this_thread::sleep_for(
-            std::chrono::milliseconds(opt.cell_delay_ms));
-      }
-    }
+  if (!json) {
+    cfg.recovery_warnings = &std::cout;
   }
-  print_report(opt, store, cells);
+  const hi::campaign::CampaignReport report =
+      hi::campaign::run_single(*plan, cfg, &metrics);
+  report.print(std::cout, json);
   return 0;
 }
