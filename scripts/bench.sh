@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Canonical perf-benchmark runner and regression gate (DESIGN.md §11).
 #
-#   scripts/bench.sh          full run: rebuild, run the four perf
+#   scripts/bench.sh          full run: rebuild, run the five perf
 #                             benches with pinned seeds, validate the
 #                             hi-bench/v1 schema, gate against the
 #                             committed BENCH_*.json baselines (>10%
@@ -16,7 +16,9 @@
 # Benches: bench_des_perf (DES kernel + end-to-end sim + channel),
 # bench_milp_perf (simplex / branch-and-bound / DSE MILP round),
 # bench_parallel_speedup (hi::exec thread sweep + determinism gate),
-# bench_campaign_fabric (claim protocol, shard merge, 2-worker fleet).
+# bench_campaign_fabric (claim protocol, shard merge, 2-worker fleet),
+# bench_robust_dse (multi-realization K sweep, robust Alg 1 vs
+# fast-ILP).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -36,7 +38,7 @@ build_dir=build
 cmake -B "${build_dir}" -S . -DHI_BUILD_BENCH=ON >/dev/null
 cmake --build "${build_dir}" -j "$(nproc)" \
       --target bench_des_perf bench_milp_perf bench_parallel_speedup \
-               bench_campaign_fabric
+               bench_campaign_fabric bench_robust_dse
 
 if [[ "${quick}" == 1 ]]; then
   out_dir="$(mktemp -d)"
@@ -59,12 +61,14 @@ declare -A bench_env=(
   [milp_perf]=""
   [parallel]="${parallel_env[*]}"
   [campaign]=""
+  [robust]=""
 )
 status=0
-for name in des_perf milp_perf parallel campaign; do
+for name in des_perf milp_perf parallel campaign robust; do
   bin="${build_dir}/bench/bench_${name}"
   [[ "${name}" == parallel ]] && bin="${build_dir}/bench/bench_parallel_speedup"
   [[ "${name}" == campaign ]] && bin="${build_dir}/bench/bench_campaign_fabric"
+  [[ "${name}" == robust ]] && bin="${build_dir}/bench/bench_robust_dse"
   new="${out_dir}/BENCH_${name}.json"
   echo "==> running bench_${name}"
   env ${bench_env[${name}]} "${bin}" > "${new}"

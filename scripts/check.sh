@@ -59,6 +59,15 @@ trap 'rm -rf "${fuzz_dir}"' EXIT
 ./build-address/tests/fuzz_store --seed 1 --scenarios 25 --trials 12 \
                                  --dir "${fuzz_dir}"
 
+# Robustness property sweep beyond the tier-1 smoke run: the Γ>0
+# battery (Bertsimas–Sim counterpart differential, robust Alg 1 vs
+# robust exhaustive, Γ/K monotonicity, Γ=0 collapse) at a deeper
+# protection budget and realization fold, under ASan.  The full
+# 200-seed acceptance sweep is ctest's fuzz_dse_robust_extended.
+echo "==> address: fuzz_dse robust sweep"
+./build-address/tests/fuzz_dse --seed 1 --scenarios 40 --gamma 2 \
+                               --realizations 3
+
 # Campaign-fabric crash smoke: a 2-worker mini-campaign in which worker
 # 0 SIGKILLs itself after its first checkpoint (--kill-slot) and
 # --no-steal pins its row, so the first run must end incomplete (exit

@@ -17,6 +17,8 @@ dse::Explorer explorer_for(dse::ExplorerKind kind) {
       return dse::Explorer::exhaustive();
     case dse::ExplorerKind::kAnnealing:
       return dse::Explorer::annealing();
+    case dse::ExplorerKind::kFastIlp:
+      return dse::Explorer::fast_ilp();
     case dse::ExplorerKind::kAlgorithm1:
       break;
   }
@@ -85,6 +87,7 @@ dse::ExplorationOptions CampaignPlan::cell_options(double pdr_min) const {
   run_opt.pdr_min = pdr_min;
   run_opt.budget = spec_.budget;
   run_opt.threads = spec_.threads;
+  run_opt.robust = spec_.robust;
   return run_opt;
 }
 

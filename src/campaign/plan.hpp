@@ -44,6 +44,11 @@ struct PlanSpec {
   /// Store channel-tag the settings fingerprint is computed under; must
   /// match the StoreOptions the runner opens stores with.
   std::string channel_tag = "default";
+  /// Robust-evaluation knobs for every cell.  The default (inactive)
+  /// keeps plans, fingerprints, and explorer behavior bit-identical to
+  /// pre-robust campaigns; an active value flows into the cell options
+  /// fingerprint, so robust and nominal results never share a CellKey.
+  dse::RobustnessOptions robust{};
 };
 
 /// One scenario row of the grid, with its identity precomputed.

@@ -1,5 +1,6 @@
 #include "campaign/report.hpp"
 
+#include <cmath>
 #include <cstdio>
 #include <ostream>
 #include <sstream>
@@ -13,6 +14,15 @@ namespace {
 constexpr std::uint8_t kWorkerReportVersion = 1;
 
 const char* bool_str(bool v) { return v ? "true" : "false"; }
+
+/// JSON has no literal for inf/nan (an infeasible cell's best power is
+/// +inf) — emit null so the document stays parseable.
+std::string json_number(double v) {
+  if (!std::isfinite(v)) return "null";
+  std::ostringstream oss;
+  oss << v;
+  return oss.str();
+}
 
 }  // namespace
 
@@ -74,8 +84,8 @@ void CampaignReport::print(std::ostream& os, bool json) const {
          << ", \"skipped\": " << bool_str(c.skipped)
          << ", \"feasible\": " << bool_str(c.result.feasible)
          << ", \"best\": \"" << json_escape(c.result.best.label())
-         << "\", \"best_power_mw\": " << c.result.best_power_mw
-         << ", \"best_pdr\": " << c.result.best_pdr
+         << "\", \"best_power_mw\": " << json_number(c.result.best_power_mw)
+         << ", \"best_pdr\": " << json_number(c.result.best_pdr)
          << ", \"simulations\": " << c.result.simulations
          << ", \"store_hits\": " << c.store_hits << "}"
          << (i + 1 < cells.size() ? "," : "") << "\n";

@@ -150,7 +150,8 @@ class Worker {
   void run_row(std::size_t row_index) {
     const PlanRow& row = plan_.rows()[row_index];
     dse::Evaluator eval(row.settings);
-    const store::WarmStartStats warm = store::warm_start(eval, *shard_);
+    const store::WarmStartStats warm =
+        store::warm_start(eval, *shard_, plan_.spec().robust.realizations);
     HI_REQUIRE(warm.settings_fp == row.settings_fp,
                "plan/settings fingerprint drift on row '" << row.name << "'");
     // Cross-shard rescan: everything any other worker (this run or a
@@ -202,6 +203,14 @@ class Worker {
     ro.channel_tag = plan_.spec().channel_tag;
     const store::EvalStore other(path, ro);
     other.preload_into(eval, settings_fp);
+    // Realization children carry distinct channel seeds, so their rows
+    // live under their own settings fingerprints.
+    for (int k = 1; k < plan_.spec().robust.realizations; ++k) {
+      dse::Evaluator& child = eval.realization(k);
+      other.preload_into(
+          child, store::settings_fingerprint(child.settings(),
+                                             plan_.spec().channel_tag));
+    }
     other.for_each_cell(
         [&cells](const store::CellKey& key, const store::CellResult&) {
           cells.insert(key);
@@ -325,7 +334,8 @@ CampaignReport run_single(const CampaignPlan& plan, const RunConfig& cfg,
   report.recovery = store.recovery();
   for (const PlanRow& row : plan.rows()) {
     dse::Evaluator eval(row.settings);
-    const store::WarmStartStats warm = store::warm_start(eval, store);
+    const store::WarmStartStats warm =
+        store::warm_start(eval, store, plan.spec().robust.realizations);
     HI_REQUIRE(warm.settings_fp == row.settings_fp,
                "plan/settings fingerprint drift on row '" << row.name << "'");
     for (const store::CellKey& key : row.cells) {

@@ -77,10 +77,31 @@ std::vector<std::string> dse_metamorphic(const ScenarioSpec& spec) {
   return out;
 }
 
-std::string replay_command(std::uint64_t seed, int shrink) {
+/// Cheap solver-side robustness checks: the Bertsimas–Sim counterpart
+/// differential plus the Γ-protected encoding consistency.
+std::vector<std::string> robust_differentials(const ScenarioSpec& spec,
+                                              int gamma) {
+  std::vector<std::string> out;
+  Rng rng = Rng{spec.seed}.fork("check.fuzz.robust");
+  for (int i = 0; i < 2; ++i) {
+    Rng gen = rng.fork(static_cast<std::uint64_t>(i));
+    for (std::string& v : check_robust_counterpart(random_robust_milp(gen))) {
+      out.push_back("counterpart[" + std::to_string(i) + "]: " +
+                    std::move(v));
+    }
+  }
+  for (std::string& v : check_robust_encoding_levels(spec.scenario, gamma)) {
+    out.push_back("encoding: " + std::move(v));
+  }
+  return out;
+}
+
+std::string replay_command(std::uint64_t seed, int shrink, int gamma,
+                           int realizations) {
   std::ostringstream oss;
   oss << "fuzz_dse --seed " << seed << " --shrink " << shrink
-      << " --scenarios 1";
+      << " --scenarios 1 --gamma " << gamma << " --realizations "
+      << realizations;
   return oss.str();
 }
 
@@ -88,6 +109,7 @@ std::string replay_command(std::uint64_t seed, int shrink) {
 
 FuzzReport run_fuzz(const FuzzOptions& opt) {
   FuzzReport report;
+  const dse::RobustnessOptions robust{opt.gamma, opt.realizations, 0.95};
   const std::vector<Property> every_seed = {
       {"solver_differentials", solver_differentials},
       {"power_cuts_monotone",
@@ -96,11 +118,32 @@ FuzzReport run_fuzz(const FuzzOptions& opt) {
        }},
       {"sim_invariants",
        [](const ScenarioSpec& s) { return check_sim_invariants(s, 2); }},
+      {"robust_differentials",
+       [&robust](const ScenarioSpec& s) {
+         return robust_differentials(s, robust.gamma);
+       }},
+      {"robust_collapse",
+       [](const ScenarioSpec& s) { return check_robust_collapse(s); }},
   };
   const std::vector<Property> rotated = {
       {"alg1_vs_exhaustive+pdrmin_monotone", dse_metamorphic},
       {"thread_determinism",
        [](const ScenarioSpec& s) { return check_thread_determinism(s, 4); }},
+      {"robust_alg1_vs_exhaustive",
+       [&robust](const ScenarioSpec& s) {
+         dse::Evaluator eval(s.settings);
+         return check_robust_alg1_matches_exhaustive(s.scenario, eval, 0.8,
+                                                     robust);
+       }},
+      {"robust_monotone+thread_determinism",
+       [&robust](const ScenarioSpec& s) {
+         std::vector<std::string> out = check_robust_monotone(
+             s, {0, robust.gamma}, {1, robust.realizations});
+         std::vector<std::string> det =
+             check_robust_thread_determinism(s, 4, robust);
+         out.insert(out.end(), det.begin(), det.end());
+         return out;
+       }},
   };
 
   for (int i = 0; i < opt.scenarios; ++i) {
@@ -133,7 +176,8 @@ FuzzReport run_fuzz(const FuzzOptions& opt) {
         failure.violations = std::move(again);
         failure.scenario_summary = smaller.summary();
       }
-      failure.replay = replay_command(seed, failure.shrink_level);
+      failure.replay = replay_command(seed, failure.shrink_level, opt.gamma,
+                                      opt.realizations);
       if (opt.out != nullptr) {
         *opt.out << "[fuzz] FAIL " << failure.property << " at seed " << seed
                  << "\n       " << failure.scenario_summary << "\n";

@@ -29,6 +29,8 @@ struct FuzzOptions {
   std::uint64_t seed = 1;  ///< first scenario seed; seeds are contiguous
   int scenarios = 200;     ///< how many seeds to walk
   int shrink_level = 0;    ///< shrink level applied to every scenario
+  int gamma = 1;           ///< Γ for the robust property battery
+  int realizations = 2;    ///< K for the robust property battery
   bool verbose = false;    ///< per-seed progress lines
   std::ostream* out = nullptr;  ///< report stream (null = silent)
 };

@@ -9,10 +9,12 @@
 #include "check/invariants.hpp"
 #include "check/lp_oracle.hpp"
 #include "check/milp_oracle.hpp"
+#include "check/robust_oracle.hpp"
 #include "dse/explorer.hpp"
 #include "dse/milp_encoding.hpp"
 #include "lp/simplex.hpp"
 #include "milp/solver.hpp"
+#include "model/power.hpp"
 
 namespace hi::check {
 
@@ -457,6 +459,354 @@ std::vector<std::string> check_thread_determinism(const ScenarioSpec& spec,
   std::vector<std::string> counter_diffs =
       diff_counters(serial.metrics, par.metrics, {"exec."});
   out.insert(out.end(), counter_diffs.begin(), counter_diffs.end());
+  return out;
+}
+
+RobustMilpInstance random_robust_milp(Rng& rng) {
+  RobustMilpInstance inst;
+  milp::Model& m = inst.model;
+  const int nb = static_cast<int>(rng.uniform_int(3, 5));
+  for (int v = 0; v < nb; ++v) {
+    m.add_binary(dyadic16(rng, 0.0, 2.0));
+  }
+  m.set_objective(lp::Objective::kMinimize);
+  // Forcing at least one selection keeps the all-zero point (on which
+  // every Γ agrees trivially) out of the feasible set.
+  std::vector<lp::Term> card;
+  for (int v = 0; v < nb; ++v) card.push_back(lp::Term{v, 1.0});
+  m.add_constraint(std::move(card), lp::Sense::kGreaterEqual,
+                   static_cast<double>(rng.uniform_int(1, nb - 1)));
+  if (rng.bernoulli(0.5)) {
+    m.add_constraint(random_row(rng, nb), random_sense(rng),
+                     dyadic16(rng, -2.0, 4.0));
+  }
+  for (int v = 0; v < nb; ++v) {
+    if (rng.bernoulli(0.75)) {
+      inst.deviations.push_back(
+          milp::DeviationTerm{v, dyadic16(rng, 0.0, 2.0)});
+    }
+  }
+  return inst;
+}
+
+std::vector<std::string> check_robust_counterpart(
+    const RobustMilpInstance& inst) {
+  std::vector<std::string> out;
+  const int nb = inst.model.num_variables();
+  std::vector<int> bins(static_cast<std::size_t>(nb));
+  for (int v = 0; v < nb; ++v) bins[static_cast<std::size_t>(v)] = v;
+  double prev = 0.0;
+  bool have_prev = false;
+  for (const int gamma : {0, 1, 2, nb}) {
+    const RobustOracleResult oracle =
+        solve_robust_exact(inst.model, inst.deviations, gamma);
+    const milp::Model rc =
+        milp::robust_counterpart(inst.model, inst.deviations, gamma);
+    const milp::Solution sol = milp::solve(rc);
+    if (!oracle.feasible) {
+      if (sol.status != lp::Status::kInfeasible) {
+        fail(out, "gamma ", gamma,
+             ": oracle says infeasible but the counterpart returned ",
+             lp::to_string(sol.status));
+      }
+      return out;  // feasibility is Γ-independent; nothing more to sweep
+    }
+    if (sol.status != lp::Status::kOptimal) {
+      fail(out, "gamma ", gamma, ": oracle optimum ",
+           oracle.objective.to_string(), " but the counterpart returned ",
+           lp::to_string(sol.status));
+      continue;
+    }
+    const double exact = oracle.objective.to_double();
+    if (std::fabs(sol.objective - exact) > kSolverTol) {
+      fail(out, "gamma ", gamma, ": counterpart objective ", sol.objective,
+           " differs from the exact worst-case optimum ",
+           oracle.objective.to_string(), " = ", exact);
+    }
+    // The counterpart appends its auxiliaries AFTER the original
+    // binaries, so restricting x to [0, nb) recovers the design.
+    const std::vector<std::int64_t> a = rounded_assignment(bins, sol.x);
+    if (std::find(oracle.optimal_assignments.begin(),
+                  oracle.optimal_assignments.end(),
+                  a) == oracle.optimal_assignments.end()) {
+      fail(out, "gamma ", gamma,
+           ": the counterpart's binary assignment is not in the "
+           "enumerator's optimal set (",
+           oracle.optimal_assignments.size(), " assignments)");
+    }
+    if (have_prev && exact < prev - 1e-12) {
+      fail(out, "robust optimum dropped from ", prev, " to ", exact,
+           " when gamma rose to ", gamma);
+    }
+    prev = exact;
+    have_prev = true;
+  }
+  return out;
+}
+
+std::vector<std::string> check_robust_alg1_matches_exhaustive(
+    const model::Scenario& sc, dse::Evaluator& eval, double pdr_min,
+    const dse::RobustnessOptions& robust) {
+  std::vector<std::string> out;
+  dse::ExplorationOptions opt;
+  opt.pdr_min = pdr_min;
+  opt.bound = dse::TerminationBound::kSoundFloor;
+  opt.robust = robust;
+  const dse::ExplorationResult ex = dse::run_exhaustive(sc, eval, opt);
+  eval.reset_counters();  // caches (all realizations) stay; Alg 1 rides them
+  const dse::ExplorationResult a1 = dse::run_algorithm1(sc, eval, opt);
+  if (ex.feasible != a1.feasible) {
+    fail(out, "robust feasibility disagrees at PDRmin ", pdr_min, ", gamma ",
+         robust.gamma, ", K ", robust.realizations, ": exhaustive ",
+         ex.feasible, ", algorithm1 ", a1.feasible);
+    return out;
+  }
+  if (ex.feasible) {
+    if (a1.best_power_mw != ex.best_power_mw) {
+      fail(out, "robust optimal power disagrees at PDRmin ", pdr_min,
+           ", gamma ", robust.gamma, ", K ", robust.realizations,
+           ": exhaustive ", ex.best_power_mw, " mW (", ex.best.label(),
+           "), algorithm1 ", a1.best_power_mw, " mW (", a1.best.label(),
+           ")");
+    }
+    if (a1.best_pdr < pdr_min) {
+      fail(out, "algorithm1 worst-case PDR ", a1.best_pdr, " misses PDRmin ",
+           pdr_min);
+    }
+    if (a1.best_protection_mw !=
+        model::robust_protection_mw(a1.best, robust.gamma)) {
+      fail(out, "algorithm1 incumbent protection ", a1.best_protection_mw,
+           " mW does not match the closed form for ", a1.best.label());
+    }
+  }
+  if (a1.simulations > ex.simulations) {
+    fail(out, "robust algorithm1 needed ", a1.simulations,
+         " simulations, more than exhaustive's ", ex.simulations);
+  }
+  if (a1.realizations != robust.realizations ||
+      ex.realizations != robust.realizations) {
+    fail(out, "result realizations (", a1.realizations, ", ",
+         ex.realizations, ") do not echo the requested K ",
+         robust.realizations);
+  }
+  return out;
+}
+
+std::vector<std::string> check_robust_collapse(const ScenarioSpec& spec) {
+  std::vector<std::string> out;
+  dse::Evaluator eval(spec.settings);
+  // Γ=0, K=1 forced through the robust machinery itself (the explorers
+  // would route an inactive option set down the nominal path, which
+  // collapses by construction — this checks the aggregation too).
+  dse::RobustBatch rb(eval, 0, dse::RobustnessOptions{});
+  const std::vector<model::NetworkConfig> configs =
+      spec.scenario.feasible_configs();
+  if (configs.empty()) {
+    fail(out, "scenario has an empty feasible design space");
+    return out;
+  }
+  Rng rng = Rng{spec.seed}.fork("check.robust.collapse");
+  const int picks = std::min<int>(4, static_cast<int>(configs.size()));
+  for (int i = 0; i < picks; ++i) {
+    const model::NetworkConfig& cfg =
+        configs[rng.uniform_index(configs.size())];
+    const dse::RobustEvaluation rev = rb.evaluate_one(cfg);
+    const dse::Evaluation& ev = eval.evaluate(cfg);  // cache hit
+    if (rev.worst_pdr != ev.pdr || rev.robust_power_mw != ev.power_mw ||
+        rev.worst_nlt_s != ev.nlt_s) {
+      fail(out, cfg.label(),
+           ": Γ=0/K=1 robust aggregate differs from the plain evaluation");
+    }
+    if (rev.protection_mw != 0.0) {
+      fail(out, cfg.label(), ": Γ=0 protection is ", rev.protection_mw,
+           " mW, want exactly 0");
+    }
+    if (rev.pdr_lo != ev.pdr || rev.pdr_hi != ev.pdr) {
+      fail(out, cfg.label(), ": K=1 confidence interval [", rev.pdr_lo,
+           ", ", rev.pdr_hi, "] is not degenerate at ", ev.pdr);
+    }
+  }
+  // Encoding collapse: Γ=0 costs are bit-identical to the nominal ones.
+  dse::MilpEncoding nominal(spec.scenario);
+  dse::MilpEncoding robust0(spec.scenario, 0);
+  const dse::MilpRound a = nominal.run_milp();
+  const dse::MilpRound b = robust0.run_milp();
+  if (a.status != b.status || a.power_mw != b.power_mw ||
+      a.candidates.size() != b.candidates.size()) {
+    fail(out, "Γ=0 MILP round differs from the nominal encoding's");
+  } else {
+    for (std::size_t i = 0; i < a.candidates.size(); ++i) {
+      if (a.candidates[i].design_key() != b.candidates[i].design_key()) {
+        fail(out, "Γ=0 MILP candidate ", i,
+             " differs from the nominal encoding's");
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> check_robust_monotone(
+    const ScenarioSpec& spec, const std::vector<int>& gammas,
+    const std::vector<int>& realizations) {
+  std::vector<std::string> out;
+  dse::Evaluator eval(spec.settings);
+  const auto run = [&](int gamma, int k) {
+    dse::ExplorationOptions opt;
+    opt.pdr_min = 0.8;
+    opt.robust.gamma = gamma;
+    opt.robust.realizations = k;
+    eval.reset_counters();  // caches persist — later runs are mostly free
+    return dse::run_exhaustive(spec.scenario, eval, opt);
+  };
+  // Γ sweep at the smallest K: feasibility is Γ-independent (protection
+  // only shifts the objective) and the optimum is nondecreasing.
+  {
+    const int k = realizations.empty() ? 1 : realizations.front();
+    bool have_prev = false;
+    bool prev_feasible = false;
+    double prev_power = 0.0;
+    int prev_gamma = 0;
+    for (const int gamma : gammas) {
+      if (have_prev && gamma < prev_gamma) {
+        fail(out, "gammas must be ascending");
+        return out;
+      }
+      const dse::ExplorationResult res = run(gamma, k);
+      if (have_prev && res.feasible != prev_feasible) {
+        fail(out, "feasibility changed from ", prev_feasible, " to ",
+             res.feasible, " when gamma rose from ", prev_gamma, " to ",
+             gamma, " (protection must not affect feasibility)");
+      }
+      if (res.feasible && have_prev && prev_feasible &&
+          res.best_power_mw < prev_power - 1e-12) {
+        fail(out, "robust optimum dropped from ", prev_power, " mW to ",
+             res.best_power_mw, " mW when gamma rose from ", prev_gamma,
+             " to ", gamma);
+      }
+      prev_feasible = res.feasible;
+      prev_power = res.best_power_mw;
+      prev_gamma = gamma;
+      have_prev = true;
+    }
+  }
+  // K sweep at the smallest Γ: realization seeds are nested, so a larger
+  // K folds a superset of channels — feasibility can only be lost and
+  // the optimum can only rise.
+  {
+    const int gamma = gammas.empty() ? 0 : gammas.front();
+    bool have_prev = false;
+    bool prev_feasible = false;
+    double prev_power = 0.0;
+    int prev_k = 0;
+    for (const int k : realizations) {
+      if (have_prev && k < prev_k) {
+        fail(out, "realizations must be ascending");
+        return out;
+      }
+      const dse::ExplorationResult res = run(gamma, k);
+      if (have_prev && res.feasible && !prev_feasible) {
+        fail(out, "feasible at K=", k, " after infeasible at K=", prev_k,
+             " (nested realizations can only add constraints)");
+      }
+      if (res.feasible && have_prev && prev_feasible &&
+          res.best_power_mw < prev_power - 1e-12) {
+        fail(out, "robust optimum dropped from ", prev_power, " mW to ",
+             res.best_power_mw, " mW when K rose from ", prev_k, " to ", k);
+      }
+      prev_feasible = res.feasible;
+      prev_power = res.best_power_mw;
+      prev_k = k;
+      have_prev = true;
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> check_robust_thread_determinism(
+    const ScenarioSpec& spec, int threads,
+    const dse::RobustnessOptions& robust) {
+  std::vector<std::string> out;
+  const auto run_at = [&](int t) {
+    dse::EvaluatorSettings s = spec.settings;
+    s.threads = t;
+    dse::Evaluator eval(s);
+    dse::ExplorationOptions opt;
+    opt.pdr_min = 0.8;
+    opt.robust = robust;
+    return dse::run_exhaustive(spec.scenario, eval, opt);
+  };
+  const dse::ExplorationResult serial = run_at(0);
+  const dse::ExplorationResult par = run_at(threads);
+  if (serial.feasible != par.feasible) {
+    fail(out, "robust feasibility differs at ", threads, " threads");
+  }
+  if (serial.feasible && serial.best.design_key() != par.best.design_key()) {
+    fail(out, "robust best design differs at ", threads, " threads: ",
+         serial.best.label(), " vs ", par.best.label());
+  }
+  // Exact double comparisons: determinism is bit-identical or broken.
+  if (serial.best_power_mw != par.best_power_mw ||
+      serial.best_pdr != par.best_pdr ||
+      serial.best_nlt_s != par.best_nlt_s ||
+      serial.best_pdr_lo != par.best_pdr_lo ||
+      serial.best_pdr_hi != par.best_pdr_hi ||
+      serial.best_protection_mw != par.best_protection_mw) {
+    fail(out, "robust best metrics (incl. CI) differ at ", threads,
+         " threads");
+  }
+  if (serial.simulations != par.simulations) {
+    fail(out, "simulation counts differ at ", threads, " threads: ",
+         serial.simulations, " vs ", par.simulations);
+  }
+  if (serial.history.size() != par.history.size()) {
+    fail(out, "history lengths differ at ", threads, " threads");
+  } else {
+    for (std::size_t i = 0; i < serial.history.size(); ++i) {
+      const dse::CandidateRecord& a = serial.history[i];
+      const dse::CandidateRecord& b = par.history[i];
+      if (a.cfg.design_key() != b.cfg.design_key() ||
+          a.sim_pdr != b.sim_pdr || a.sim_power_mw != b.sim_power_mw ||
+          a.sim_nlt_s != b.sim_nlt_s || a.pdr_lo != b.pdr_lo ||
+          a.pdr_hi != b.pdr_hi) {
+        fail(out, "robust history entry ", i, " differs at ", threads,
+             " threads");
+        break;
+      }
+    }
+  }
+  std::vector<std::string> counter_diffs =
+      diff_counters(serial.metrics, par.metrics, {"exec."});
+  out.insert(out.end(), counter_diffs.begin(), counter_diffs.end());
+  return out;
+}
+
+std::vector<std::string> check_robust_encoding_levels(
+    const model::Scenario& sc, int gamma) {
+  std::vector<std::string> out;
+  dse::MilpEncoding enc(sc, gamma);
+  double prev = -1.0;
+  for (int round = 0; round < 4; ++round) {
+    const dse::MilpRound r = enc.run_milp();
+    if (r.status != lp::Status::kOptimal) {
+      break;  // cuts exhausted the protected grid
+    }
+    if (round > 0 && r.power_mw <= prev) {
+      fail(out, "gamma ", gamma, " round ", round, " optimum ", r.power_mw,
+           " mW did not rise above the cut level ", prev, " mW");
+    }
+    for (const model::NetworkConfig& cfg : r.candidates) {
+      const double expected = model::node_power_mw(cfg) +
+                              model::robust_protection_mw(cfg, gamma);
+      if (std::fabs(expected - r.power_mw) > 1e-9 * (1.0 + expected)) {
+        fail(out, "gamma ", gamma, " round ", round, ": candidate ",
+             cfg.label(), " protected analytic power ", expected,
+             " mW disagrees with the round optimum ", r.power_mw, " mW");
+      }
+    }
+    prev = r.power_mw;
+    enc.add_power_cut_above(r.power_mw);
+  }
   return out;
 }
 

@@ -27,8 +27,10 @@
 #include "check/scenario_gen.hpp"
 #include "common/rng.hpp"
 #include "dse/evaluator.hpp"
+#include "dse/robustness.hpp"
 #include "lp/problem.hpp"
 #include "milp/model.hpp"
+#include "milp/robust.hpp"
 #include "obs/snapshot.hpp"
 
 namespace hi::check {
@@ -98,6 +100,62 @@ namespace hi::check {
 /// snapshots (exec.* scheduling counters excluded — see DESIGN.md §8).
 [[nodiscard]] std::vector<std::string> check_thread_determinism(
     const ScenarioSpec& spec, int threads);
+
+// --- robustness properties ---------------------------------------------
+
+/// A pure-binary minimization MILP plus per-variable objective
+/// deviations — exactly the scope milp::robust_counterpart is exact on.
+struct RobustMilpInstance {
+  milp::Model model;
+  std::vector<milp::DeviationTerm> deviations;
+};
+
+/// Dyadic random instance: 3..5 binaries, a cardinality row that keeps
+/// the all-zero point out (so Γ actually bites), deviations on most
+/// variables.  May be infeasible — that is part of the test space.
+[[nodiscard]] RobustMilpInstance random_robust_milp(Rng& rng);
+
+/// milp::robust_counterpart vs the brute-force worst-case enumerator
+/// (check/robust_oracle) across Γ ∈ {0, 1, 2, all}: matching status and
+/// objective, the solver's binary assignment is one of the enumerator's
+/// optima, and the robust optimum is nondecreasing in Γ.
+[[nodiscard]] std::vector<std::string> check_robust_counterpart(
+    const RobustMilpInstance& inst);
+
+/// Robust Algorithm 1 (sound bound) vs robust exhaustive search under
+/// the same RobustnessOptions: same feasibility, same robust optimal
+/// power, never more simulations.  Runs share `eval`'s caches.
+[[nodiscard]] std::vector<std::string> check_robust_alg1_matches_exhaustive(
+    const model::Scenario& sc, dse::Evaluator& eval, double pdr_min,
+    const dse::RobustnessOptions& robust);
+
+/// Γ = 0, K = 1 collapse: RobustBatch aggregation over sampled feasible
+/// configs is bit-identical to the plain evaluator (zero protection,
+/// degenerate CI), and the Γ=0 MILP encoding's first round matches the
+/// nominal encoding's bit for bit.
+[[nodiscard]] std::vector<std::string> check_robust_collapse(
+    const ScenarioSpec& spec);
+
+/// Monotonicity of the robust exhaustive optimum: nondecreasing in Γ at
+/// fixed K (with Γ-independent feasibility), and nondecreasing in K at
+/// fixed Γ (with monotone feasibility — nested realization seeds mean a
+/// larger K can only add constraints).  Both lists must be ascending.
+[[nodiscard]] std::vector<std::string> check_robust_monotone(
+    const ScenarioSpec& spec, const std::vector<int>& gammas,
+    const std::vector<int>& realizations);
+
+/// Robust exhaustive search at `threads` workers vs serial:
+/// bit-identical result (best point, CI bounds, protection, history,
+/// counters; exec.* scheduling counters excluded).
+[[nodiscard]] std::vector<std::string> check_robust_thread_determinism(
+    const ScenarioSpec& spec, int threads,
+    const dse::RobustnessOptions& robust);
+
+/// Γ-protected MilpEncoding: round optima rise strictly under cuts, and
+/// every candidate's analytic power + closed-form protection equals the
+/// round optimum (the encoding and model::robust_protection_mw agree).
+[[nodiscard]] std::vector<std::string> check_robust_encoding_levels(
+    const model::Scenario& sc, int gamma);
 
 // --- simulator invariants ----------------------------------------------
 

@@ -1,0 +1,129 @@
+#include "check/robust_oracle.hpp"
+
+#include <algorithm>
+#include <cstddef>
+
+#include "common/assert.hpp"
+
+namespace hi::check {
+
+RobustOracleResult solve_robust_exact(
+    const milp::Model& m, const std::vector<milp::DeviationTerm>& devs,
+    int gamma, std::uint64_t max_boxes) {
+  const lp::Problem& p = m.lp();
+  const int nv = p.num_variables();
+  HI_REQUIRE(gamma >= 0, "gamma must be >= 0, got " << gamma);
+  HI_REQUIRE(p.objective() == lp::Objective::kMinimize,
+             "robust oracle requires a minimization model");
+  HI_REQUIRE(static_cast<int>(m.binary_variables().size()) == nv,
+             "robust oracle requires a pure-binary model");
+  HI_REQUIRE(nv < 63, "robust oracle: binary box exceeds 2^62 assignments");
+  HI_REQUIRE((std::uint64_t{1} << nv) <= max_boxes,
+             "robust oracle: binary box exceeds " << max_boxes
+                                                  << " assignments");
+  for (const milp::DeviationTerm& t : devs) {
+    HI_REQUIRE(t.var >= 0 && t.var < nv,
+               "deviation references variable " << t.var << " of " << nv);
+    HI_REQUIRE(t.dev >= 0.0, "deviation must be >= 0, got " << t.dev);
+  }
+
+  // Exact dense rows and costs.
+  struct ExactRow {
+    std::vector<Rational> a;
+    Rational b;
+    lp::Sense sense = lp::Sense::kLessEqual;
+  };
+  std::vector<ExactRow> rows(static_cast<std::size_t>(p.num_constraints()));
+  for (int r = 0; r < p.num_constraints(); ++r) {
+    const lp::Constraint& c = p.constraint(r);
+    ExactRow& row = rows[static_cast<std::size_t>(r)];
+    row.a.assign(static_cast<std::size_t>(nv), Rational{});
+    for (const lp::Term& t : c.terms) {
+      row.a[static_cast<std::size_t>(t.var)] += Rational::from_double(t.coeff);
+    }
+    row.b = Rational::from_double(c.rhs);
+    row.sense = c.sense;
+  }
+  std::vector<Rational> cost(static_cast<std::size_t>(nv));
+  for (int v = 0; v < nv; ++v) {
+    cost[static_cast<std::size_t>(v)] =
+        Rational::from_double(p.variable(v).cost);
+  }
+
+  const auto sense_holds = [](const Rational& lhs, lp::Sense sense,
+                              const Rational& rhs) {
+    switch (sense) {
+      case lp::Sense::kLessEqual:
+        return lhs <= rhs;
+      case lp::Sense::kEqual:
+        return lhs == rhs;
+      case lp::Sense::kGreaterEqual:
+        return lhs >= rhs;
+    }
+    return false;
+  };
+
+  RobustOracleResult result;
+  std::vector<std::int64_t> assign(static_cast<std::size_t>(nv), 0);
+  std::vector<Rational> selected;  // deviations active under this x
+  for (;;) {
+    ++result.boxes_checked;
+    bool feasible = true;
+    for (const ExactRow& row : rows) {
+      Rational lhs;
+      for (int v = 0; v < nv; ++v) {
+        if (assign[static_cast<std::size_t>(v)] != 0) {
+          lhs += row.a[static_cast<std::size_t>(v)];
+        }
+      }
+      if (!sense_holds(lhs, row.sense, row.b)) {
+        feasible = false;
+        break;
+      }
+    }
+    if (feasible) {
+      Rational obj;
+      for (int v = 0; v < nv; ++v) {
+        if (assign[static_cast<std::size_t>(v)] != 0) {
+          obj += cost[static_cast<std::size_t>(v)];
+        }
+      }
+      // Worst Γ-subset: the Γ largest deviations among the selected.
+      selected.clear();
+      for (const milp::DeviationTerm& t : devs) {
+        if (assign[static_cast<std::size_t>(t.var)] != 0) {
+          selected.push_back(Rational::from_double(t.dev));
+        }
+      }
+      std::sort(selected.begin(), selected.end(),
+                [](const Rational& a, const Rational& b) { return b < a; });
+      const std::size_t take =
+          std::min(selected.size(), static_cast<std::size_t>(gamma));
+      for (std::size_t j = 0; j < take; ++j) {
+        obj += selected[j];
+      }
+      if (!result.feasible || obj < result.objective) {
+        result.feasible = true;
+        result.objective = obj;
+        result.optimal_assignments.clear();
+        result.optimal_assignments.push_back(assign);
+      } else if (obj == result.objective) {
+        result.optimal_assignments.push_back(assign);
+      }
+    }
+    // Odometer step over {0,1}^nv.
+    std::size_t k = 0;
+    while (k < assign.size()) {
+      if (assign[k] == 0) {
+        assign[k] = 1;
+        break;
+      }
+      assign[k] = 0;
+      ++k;
+    }
+    if (k == assign.size()) break;
+  }
+  return result;
+}
+
+}  // namespace hi::check

@@ -1,0 +1,48 @@
+// hi-opt: exact Γ-robust oracle — brute-force worst-case enumeration.
+//
+// The Bertsimas–Sim counterpart (milp::robust_counterpart) claims that
+// its single-level LP reformulation computes, for every binary x,
+//
+//   robust_obj(x) = c·x + (sum of the Γ largest d_j among {j : x_j = 1}).
+//
+// This oracle computes that definition DIRECTLY: it walks every binary
+// assignment (odometer), checks the original rows exactly in rational
+// arithmetic, evaluates c·x exactly, and adds the worst Γ-subset of the
+// selected deviations by sorting them — no duality, no auxiliary
+// variables.  The differential property check_robust_counterpart then
+// demands that the counterpart's MILP optimum equals this ground truth
+// on random dyadic instances.
+//
+// Scope: pure-binary minimization models only (that is what the
+// counterpart is exact for), at most `max_boxes` assignments.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "check/rational.hpp"
+#include "milp/model.hpp"
+#include "milp/robust.hpp"
+
+namespace hi::check {
+
+/// Outcome of an exact robust solve.
+struct RobustOracleResult {
+  bool feasible = false;
+  Rational objective;  ///< exact worst-case minimum
+  /// Every optimal binary assignment, in m.binary_variables() order,
+  /// in odometer order.
+  std::vector<std::vector<std::int64_t>> optimal_assignments;
+  std::uint64_t boxes_checked = 0;
+};
+
+/// Solves min_x robust_obj(x) over the feasible binary assignments of
+/// `m` by direct enumeration.  Requires: `m` minimizes, every variable
+/// of `m` is binary, every deviation references a variable of `m` with
+/// dev >= 0, gamma >= 0.  Throws hi::ModelError outside that scope or
+/// when the box exceeds `max_boxes`.
+[[nodiscard]] RobustOracleResult solve_robust_exact(
+    const milp::Model& m, const std::vector<milp::DeviationTerm>& devs,
+    int gamma, std::uint64_t max_boxes = 1u << 20);
+
+}  // namespace hi::check

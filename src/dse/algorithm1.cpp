@@ -8,14 +8,28 @@
 // the next level is guaranteed to exceed the simulated incumbent
 // (line 5 of the paper's listing).
 //
+// Γ-robust mode (ExplorationOptions::robust active; DESIGN.md §13):
+// RunMILP proposes levels of the Γ-protected cost model, RunSim folds K
+// channel realizations through RobustBatch, feasibility is judged on
+// the worst realization, and the incumbent minimizes the robust
+// objective (worst simulated power + protection).  Termination stays
+// sound because every quantity shifts by the same cell protection: a
+// cell's robust objective is bounded below by its measured floor + its
+// protection, which is what min_remaining_floor then compares.  The
+// cuts remove Γ-protected levels, so they can never cut a level whose
+// worst-case realization would have won — that is the cut-soundness
+// argument the robust fuzz properties check.
+//
 // Entry point: run_algorithm1(scenario, eval, ExplorationOptions),
 // declared in dse/explorer.hpp (or Explorer::algorithm1().run(...)).
 #include <algorithm>
 #include <limits>
+#include <optional>
 
 #include "common/assert.hpp"
 #include "dse/explorer.hpp"
 #include "dse/milp_encoding.hpp"
+#include "dse/robustness.hpp"
 #include "exec/batch_evaluator.hpp"
 #include "model/power.hpp"
 #include "obs/timer.hpp"
@@ -27,8 +41,15 @@ ExplorationResult run_algorithm1(const model::Scenario& scenario,
                                  const ExplorationOptions& opt) {
   detail::RunScope scope(ExplorerKind::kAlgorithm1, eval, opt);
   const int max_iterations = opt.budget >= 0 ? opt.budget : 10'000;
+  const bool robust = opt.robust.active();
+  // The kPaperAlpha discount reasons about the nominal analytic model
+  // only; there is no sound robust reading of it.
+  HI_REQUIRE(!robust || !opt.use_alpha_termination ||
+                 opt.bound == TerminationBound::kSoundFloor,
+             "robust Algorithm 1 supports only the kSoundFloor bound");
+  const int gamma = robust ? opt.robust.gamma : 0;
 
-  MilpEncoding encoding(scenario);
+  MilpEncoding encoding(scenario, gamma);
   // Route the inner solver's milp.* counters into this run's registry
   // (whatever the caller put in opt.milp.metrics would escape the
   // snapshot delta that feeds ExplorationResult::milp_bnb_nodes).
@@ -40,8 +61,15 @@ ExplorationResult run_algorithm1(const model::Scenario& scenario,
 
   // RunSim engine: each MILP level hands back its whole alternative-
   // optima set at once, which batch-evaluates concurrently (bit-identical
-  // to serial; see exec::BatchEvaluator).  One pool serves every round.
-  exec::BatchEvaluator batch(eval, scope.threads());
+  // to serial; see exec::BatchEvaluator).  One pool serves every round;
+  // robust runs use the K-realization fold instead.
+  std::optional<exec::BatchEvaluator> batch;
+  std::optional<RobustBatch> rbatch;
+  if (robust) {
+    rbatch.emplace(eval, scope.threads(), opt.robust);
+  } else {
+    batch.emplace(eval, scope.threads());
+  }
 
   // Termination bounds (Sec. 3).  The paper stops when P̄*/α(S*) exceeds
   // the incumbent's simulated power, with α = P̄/P̄lb the loss discount.
@@ -52,10 +80,13 @@ ExplorationResult run_algorithm1(const model::Scenario& scenario,
   // model::measured_power_floor_mw — delivery accounting against the
   // simulator's own energy metering, not the analytic P̄lb (the fuzzer
   // found P̄lb overshooting measured powers when CSMA saturation drops
-  // packets before they are transmitted).
+  // packets before they are transmitted).  In robust mode both sides of
+  // the comparison carry the cell's Γ-protection (adds exactly 0.0 when
+  // gamma == 0), and the floor holds for EVERY realization, so it
+  // bounds the worst one.
   struct CellBound {
-    double cost_mw;   ///< analytic P̄ of the cell, Eq. (9)
-    double floor_mw;  ///< measured-power floor of the cell at PDRmin
+    double cost_mw;   ///< analytic P̄ of the cell, Eq. (9), Γ-protected
+    double floor_mw;  ///< measured-power floor + protection at PDRmin
   };
   std::vector<CellBound> cell_bounds;
   {
@@ -70,10 +101,12 @@ ExplorationResult run_algorithm1(const model::Scenario& scenario,
           // representative topology of the right size will do.
           const model::NetworkConfig cell = scenario.make_config(
               t, lvl, model::MacProtocol::kCsma, rt);
+          const double prot = model::robust_protection_mw(cell, gamma);
           cell_bounds.push_back(CellBound{
-              model::node_power_mw(cell),
+              model::node_power_mw(cell) + prot,
               model::measured_power_floor_mw(cell, opt.pdr_min,
-                                             sp.duration_s, sp.gen_guard_s)});
+                                             sp.duration_s, sp.gen_guard_s) +
+                  prot});
         }
       }
     }
@@ -136,27 +169,53 @@ ExplorationResult run_algorithm1(const model::Scenario& scenario,
 
     // ---- line 7: RunSim (the whole level concurrently) ---------------------
     // ---- line 8: Sort (track the feasible minimum directly) ---------------
-    const std::vector<const Evaluation*> evals = [&] {
-      obs::ScopedTimer timer(&scope.registry(), "alg1.sim_s");
-      return batch.evaluate(round.candidates);
-    }();
     bool round_feasible = false;
     model::NetworkConfig round_best;
     double round_best_power = 0.0;
     double round_best_pdr = 0.0;
     double round_best_nlt = 0.0;
-    for (std::size_t i = 0; i < round.candidates.size(); ++i) {
-      const model::NetworkConfig& cfg = round.candidates[i];
-      const Evaluation& ev = *evals[i];
-      res.history.push_back(CandidateRecord{cfg, model::node_power_mw(cfg),
-                                            ev.pdr, ev.power_mw, ev.nlt_s});
-      if (ev.pdr >= opt.pdr_min &&
-          (!round_feasible || ev.power_mw < round_best_power)) {
-        round_feasible = true;
-        round_best = cfg;
-        round_best_power = ev.power_mw;
-        round_best_pdr = ev.pdr;
-        round_best_nlt = ev.nlt_s;
+    double round_best_lo = 0.0;
+    double round_best_hi = 0.0;
+    double round_best_prot = 0.0;
+    if (robust) {
+      const std::vector<RobustEvaluation> revs = [&] {
+        obs::ScopedTimer timer(&scope.registry(), "alg1.sim_s");
+        return rbatch->evaluate(round.candidates);
+      }();
+      for (std::size_t i = 0; i < round.candidates.size(); ++i) {
+        const model::NetworkConfig& cfg = round.candidates[i];
+        const RobustEvaluation& rev = revs[i];
+        res.history.push_back(robust_record(cfg, rev));
+        if (rev.worst_pdr >= opt.pdr_min &&
+            (!round_feasible || rev.robust_power_mw < round_best_power)) {
+          round_feasible = true;
+          round_best = cfg;
+          round_best_power = rev.robust_power_mw;
+          round_best_pdr = rev.worst_pdr;
+          round_best_nlt = rev.worst_nlt_s;
+          round_best_lo = rev.pdr_lo;
+          round_best_hi = rev.pdr_hi;
+          round_best_prot = rev.protection_mw;
+        }
+      }
+    } else {
+      const std::vector<const Evaluation*> evals = [&] {
+        obs::ScopedTimer timer(&scope.registry(), "alg1.sim_s");
+        return batch->evaluate(round.candidates);
+      }();
+      for (std::size_t i = 0; i < round.candidates.size(); ++i) {
+        const model::NetworkConfig& cfg = round.candidates[i];
+        const Evaluation& ev = *evals[i];
+        res.history.push_back(CandidateRecord{cfg, model::node_power_mw(cfg),
+                                              ev.pdr, ev.power_mw, ev.nlt_s});
+        if (ev.pdr >= opt.pdr_min &&
+            (!round_feasible || ev.power_mw < round_best_power)) {
+          round_feasible = true;
+          round_best = cfg;
+          round_best_power = ev.power_mw;
+          round_best_pdr = ev.pdr;
+          round_best_nlt = ev.nlt_s;
+        }
       }
     }
 
@@ -169,11 +228,17 @@ ExplorationResult run_algorithm1(const model::Scenario& scenario,
       res.best_power_mw = round_best_power;
       res.best_pdr = round_best_pdr;
       res.best_nlt_s = round_best_nlt;
+      res.best_pdr_lo = round_best_lo;
+      res.best_pdr_hi = round_best_hi;
+      res.best_protection_mw = round_best_prot;
     }
 
     // ---- line 11: Update — exclude the exhausted power level --------------
     encoding.add_power_cut_above(round.power_mw);
     scope.registry().counter("alg1.cuts_added").add(1);
+    if (robust) {
+      scope.registry().counter("dse.robust_cuts").add(1);
+    }
     scope.progress(res.iterations + 1, res);
   }
 

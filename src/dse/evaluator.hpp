@@ -30,8 +30,10 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <unordered_map>
 #include <unordered_set>
+#include <vector>
 
 #include "common/assert.hpp"
 #include "common/rng.hpp"
@@ -41,6 +43,18 @@
 #include "obs/timer.hpp"
 
 namespace hi::dse {
+
+/// Channel-realization seed of realization `k >= 1`, derived from the
+/// experiment's channel root (`sim.channel_seed`, falling back to
+/// `sim.seed` when unset — the same fallback simulate_uncached applies).
+/// Realization 0 *is* the root: the nominal channel every pre-robust
+/// run already used.  The derivation is nested — realization k's seed
+/// does not depend on how many realizations exist — so growing K only
+/// ever *adds* channel draws, which is what makes the robust optimum
+/// monotone in K and lets a K=4 sweep reuse every K=2 store record.
+/// Forced nonzero so it can never alias the "unset, use sim.seed" case.
+[[nodiscard]] std::uint64_t realization_channel_seed(
+    std::uint64_t channel_root, int k);
 
 /// Outcome of evaluating one design point.
 struct Evaluation {
@@ -202,8 +216,37 @@ class Evaluator {
   /// equals simulations() of the equivalent cold run.
   [[nodiscard]] std::uint64_t store_hits() const { return store_hits_; }
 
-  /// Starts a new counting epoch (the result cache is kept).
+  /// Starts a new counting epoch (the result cache is kept).  Also
+  /// resets every realization sub-evaluator (see realization()).
   void reset_counters();
+
+  /// The evaluator for channel realization `k` of a multi-realization
+  /// (robust) experiment.  k == 0 returns *this* — the nominal channel,
+  /// bit-identical to every pre-robust code path.  k >= 1 lazily
+  /// constructs a child Evaluator with identical settings except for
+  /// the channel root, which is re-derived via realization_channel_seed
+  /// so the K realizations judge every design point against K
+  /// independent fade draws.  Children share this evaluator's metrics
+  /// registry (kept in sync by set_metrics) but own their caches, so
+  /// hi::store sees one record per (design, realization seed) — the
+  /// per-realization settings fingerprints differ only in channel_seed.
+  /// References stay valid for the evaluator's lifetime.  Not
+  /// thread-safe (same rule as the rest of the class).
+  Evaluator& realization(int k);
+
+  /// 1 + the number of realization children created so far.
+  [[nodiscard]] int realization_count() const {
+    return 1 + static_cast<int>(children_.size());
+  }
+
+  /// simulations() summed over this evaluator and its realization
+  /// children — the robust analogue of the paper's headline count (a
+  /// K-realization design-point evaluation pays up to K simulations).
+  /// Equals simulations() exactly when no children exist.
+  [[nodiscard]] std::uint64_t total_simulations() const;
+
+  /// store_hits() summed over this evaluator and its children.
+  [[nodiscard]] std::uint64_t total_store_hits() const;
 
   /// Seeds the cache with a result a previous process computed under
   /// *identical* settings (hi::store enforces that via the settings
@@ -242,9 +285,10 @@ class Evaluator {
 
   /// Swaps the active registry (null detaches) and returns the previous
   /// one.  Explorers install a per-run registry through this and restore
-  /// the old one afterwards.  Must not be called while a batch
-  /// evaluation is in flight (same rule as using the evaluator directly;
-  /// see exec::BatchEvaluator).
+  /// the old one afterwards.  Realization children follow along, so one
+  /// install covers the whole robust evaluator tree.  Must not be called
+  /// while a batch evaluation is in flight (same rule as using the
+  /// evaluator directly; see exec::BatchEvaluator).
   obs::MetricsRegistry* set_metrics(obs::MetricsRegistry* m) {
     obs::MetricsRegistry* prev = metrics_;
     metrics_ = m;
@@ -253,6 +297,9 @@ class Evaluator {
         m != nullptr ? &m->counter("dse.cache_hits") : nullptr;
     store_hits_counter_ =
         m != nullptr ? &m->counter("dse.store_hits") : nullptr;
+    for (const std::unique_ptr<Evaluator>& child : children_) {
+      child->set_metrics(m);
+    }
     return prev;
   }
 
@@ -268,6 +315,9 @@ class Evaluator {
   };
 
   EvaluatorSettings settings_;
+  /// Realization sub-evaluators (index i holds realization i + 1);
+  /// unique_ptr keeps cache references stable across vector growth.
+  std::vector<std::unique_ptr<Evaluator>> children_;
   std::unordered_map<std::uint64_t, CacheEntry> cache_;
   std::unordered_set<std::uint64_t> counted_this_epoch_;
   std::uint64_t simulations_ = 0;

@@ -24,6 +24,8 @@ const char* to_string(ExplorerKind kind) {
       return "exhaustive";
     case ExplorerKind::kAnnealing:
       return "annealing";
+    case ExplorerKind::kFastIlp:
+      return "fast_ilp";
   }
   return "unknown";
 }
@@ -38,6 +40,8 @@ ExplorationResult Explorer::run(const model::Scenario& scenario,
       return run_exhaustive(scenario, eval, opt);
     case ExplorerKind::kAnnealing:
       return run_annealing(scenario, eval, opt);
+    case ExplorerKind::kFastIlp:
+      return run_fast_ilp(scenario, eval, opt);
   }
   HI_ASSERT_MSG(false, "unknown ExplorerKind "
                            << static_cast<int>(kind_));
@@ -68,8 +72,17 @@ RunScope::RunScope(ExplorerKind kind, Evaluator& eval,
     previous_ = eval.set_metrics(registry_);
     installed_ = true;
   }
+  HI_REQUIRE(!opt.robust.active() ||
+                 (opt.robust.gamma >= 0 && opt.robust.realizations >= 1 &&
+                  opt.robust.confidence > 0.0 && opt.robust.confidence < 1.0),
+             "invalid RobustnessOptions: gamma " << opt.robust.gamma
+                 << ", realizations " << opt.robust.realizations
+                 << ", confidence " << opt.robust.confidence);
   start_ = registry_->snapshot();
-  sims0_ = eval.simulations();
+  // total_simulations: a robust run pays into the realization children
+  // too; with no children this is exactly simulations(), so the
+  // single-realization accounting is unchanged.
+  sims0_ = eval.total_simulations();
   t0_s_ = steady_now_s();
 }
 
@@ -86,14 +99,15 @@ void RunScope::progress(int iteration, const ExplorationResult& res) const {
   ProgressInfo info;
   info.kind = kind_;
   info.iteration = iteration;
-  info.simulations = eval_.simulations() - sims0_;
+  info.simulations = eval_.total_simulations() - sims0_;
   info.feasible = res.feasible;
   info.best_power_mw = res.best_power_mw;
   opt_.progress(info);
 }
 
 void RunScope::finish(ExplorationResult& res) {
-  res.simulations = eval_.simulations() - sims0_;
+  res.simulations = eval_.total_simulations() - sims0_;
+  res.realizations = opt_.robust.active() ? opt_.robust.realizations : 1;
   res.wall_time_s = steady_now_s() - t0_s_;
   registry_->histogram("dse.run_s").observe(res.wall_time_s);
   registry_->counter("dse.runs").add(1);

@@ -25,6 +25,7 @@
 
 #include "dse/evaluator.hpp"
 #include "dse/exploration.hpp"
+#include "dse/robustness.hpp"
 #include "milp/solver.hpp"
 #include "model/design_space.hpp"
 #include "model/power.hpp"
@@ -32,11 +33,14 @@
 
 namespace hi::dse {
 
-/// The three exploration strategies.
+/// The four exploration strategies.
 enum class ExplorerKind {
   kAlgorithm1,  ///< the paper's MILP + simulation loop
   kExhaustive,  ///< simulate the whole feasible design space
   kAnnealing,   ///< simulated-annealing baseline
+  kFastIlp,     ///< fast ILP-based heuristic (D'Andreagiovanni & Nardin):
+                ///< Algorithm 1's loop with a patience cutoff instead of
+                ///< the sound floor — not exact, benchmarked against it
 };
 
 [[nodiscard]] const char* to_string(ExplorerKind kind);
@@ -113,6 +117,20 @@ struct ExplorationOptions {
   double t_end_mw = 0.005;  ///< final temperature
   double penalty_mw_per_pdr = 50.0;  ///< infeasibility penalty slope
 
+  // --- fast ILP heuristic --------------------------------------------
+  /// MILP levels the fast-ILP explorer keeps climbing past a feasible
+  /// incumbent without improvement before it stops (>= 1).  Larger is
+  /// closer to Algorithm 1's exactness, smaller is faster.
+  int fast_ilp_patience = 2;
+
+  // --- robustness (DESIGN.md §13) ------------------------------------
+  /// Γ / multi-realization knobs consumed by every explorer.  Inactive
+  /// (the default) selects the pre-robust code paths bit-identically;
+  /// active runs judge feasibility on the worst realization and
+  /// optimize worst-case power + Γ-protection.  Robust Algorithm 1
+  /// supports only the kSoundFloor termination bound.
+  RobustnessOptions robust{};
+
   // --- observability -------------------------------------------------
   /// Registry the run records into; installed into the evaluator for
   /// the duration of the run (and restored afterwards).  Null = use the
@@ -139,6 +157,17 @@ struct ExplorationOptions {
                                               Evaluator& eval,
                                               const ExplorationOptions& opt);
 
+/// Runs the fast ILP-based heuristic (D'Andreagiovanni & Nardin's
+/// WBAN-design heuristic ported onto this code base): Algorithm 1's
+/// ascending-MILP-level loop, but it stops `fast_ilp_patience` levels
+/// after the feasible incumbent last improved instead of waiting for
+/// the sound power floor.  Orders of magnitude fewer simulations on
+/// deep level stacks; NOT exact — EXPERIMENTS.md documents the
+/// optimality gap against (robust) Algorithm 1.
+[[nodiscard]] ExplorationResult run_fast_ilp(const model::Scenario& scenario,
+                                             Evaluator& eval,
+                                             const ExplorationOptions& opt);
+
 /// A named exploration strategy; run() dispatches to the matching
 /// run_* function.  Copyable value type.
 class Explorer {
@@ -152,9 +181,13 @@ class Explorer {
   [[nodiscard]] static Explorer annealing() {
     return Explorer(ExplorerKind::kAnnealing);
   }
-  /// All strategies, in the order the paper compares them.
+  [[nodiscard]] static Explorer fast_ilp() {
+    return Explorer(ExplorerKind::kFastIlp);
+  }
+  /// All strategies, in the order the paper compares them (the fast-ILP
+  /// heuristic, which the paper does not have, comes last).
   [[nodiscard]] static std::vector<Explorer> all() {
-    return {algorithm1(), exhaustive(), annealing()};
+    return {algorithm1(), exhaustive(), annealing(), fast_ilp()};
   }
 
   [[nodiscard]] ExplorerKind kind() const { return kind_; }

@@ -13,12 +13,17 @@ namespace hi::dse {
 double MilpEncoding::cell_cost_mw(int level, model::RoutingProtocol rt,
                                   int n_nodes) const {
   const model::RadioConfig radio = scenario_.chip.configure(level);
+  // The Γ-protection is exactly 0.0 when gamma_ == 0, so the nominal
+  // encoding's costs are bit-identical to the pre-robust ones.
   return scenario_.app.baseline_mw +
-         model::radio_power_mw(radio, scenario_.app, rt, n_nodes);
+         model::radio_power_mw(radio, scenario_.app, rt, n_nodes) +
+         model::robust_protection_mw(radio, scenario_.app, rt, n_nodes,
+                                     gamma_);
 }
 
-MilpEncoding::MilpEncoding(const model::Scenario& scenario)
-    : scenario_(scenario) {
+MilpEncoding::MilpEncoding(const model::Scenario& scenario, int gamma)
+    : scenario_(scenario), gamma_(gamma) {
+  HI_REQUIRE(gamma_ >= 0, "gamma must be >= 0, got " << gamma_);
   HI_REQUIRE(scenario_.min_nodes >= 2, "need at least two nodes");
   HI_REQUIRE(scenario_.max_nodes >= scenario_.min_nodes,
              "max_nodes below min_nodes");

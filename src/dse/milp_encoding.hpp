@@ -41,7 +41,18 @@ struct MilpRound {
 /// iterations, accumulating power cuts.
 class MilpEncoding {
  public:
-  explicit MilpEncoding(const model::Scenario& scenario);
+  /// `gamma` > 0 builds the Γ-robust counterpart (DESIGN.md §13): every
+  /// cell cost carries its Bertsimas–Sim protection term
+  /// model::robust_protection_mw(level, routing, N, Γ) — the worst sum
+  /// of Γ per-link loss deviations, a closed form because a cell's
+  /// links deviate identically — so the MILP proposes levels ordered by
+  /// robust power and the cut separation ε is recomputed over the
+  /// protected costs.  gamma == 0 (the default) adds exactly 0.0 to
+  /// every cost: the encoding is bit-identical to the nominal one.
+  explicit MilpEncoding(const model::Scenario& scenario, int gamma = 0);
+
+  /// The deviation budget this encoding was built with.
+  [[nodiscard]] int gamma() const { return gamma_; }
 
   /// Solves the current relaxed problem and decodes all optima.  When
   /// opt.metrics is set, additionally records the decoded pool size as
@@ -73,6 +84,7 @@ class MilpEncoding {
                                     int n_nodes) const;
 
   model::Scenario scenario_;
+  int gamma_ = 0;  ///< Bertsimas–Sim deviation budget (0 = nominal)
   milp::Model model_;
   std::vector<int> n_vars_;   ///< per location
   std::vector<int> p_vars_;   ///< per Tx level

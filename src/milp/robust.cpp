@@ -1,0 +1,46 @@
+#include "milp/robust.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "common/assert.hpp"
+
+namespace hi::milp {
+
+Model robust_counterpart(const Model& m, const std::vector<DeviationTerm>& devs,
+                         int gamma) {
+  HI_REQUIRE(gamma >= 0, "gamma must be >= 0, got " << gamma);
+  HI_REQUIRE(m.lp().objective() == lp::Objective::kMinimize,
+             "robust_counterpart requires a minimization model");
+  Model rc = m;
+  if (gamma == 0 || devs.empty()) {
+    return rc;  // no protection budget: the nominal problem
+  }
+  double max_dev = 0.0;
+  for (const DeviationTerm& t : devs) {
+    HI_REQUIRE(t.var >= 0 && t.var < m.num_variables(),
+               "deviation references variable " << t.var << " of "
+                                                << m.num_variables());
+    HI_REQUIRE(m.var_type(t.var) == VarType::kBinary,
+               "deviation on non-binary variable " << t.var
+                   << " (the counterpart is exact for binaries only)");
+    HI_REQUIRE(t.dev >= 0.0, "deviation must be >= 0, got " << t.dev);
+    max_dev = std::max(max_dev, t.dev);
+  }
+  // An optimal (z, p) always exists with z <= max_j d_j and
+  // p_j = max(0, d_j x_j - z) <= d_j, so finite bounds lose nothing.
+  const int z = rc.add_continuous(0.0, max_dev, static_cast<double>(gamma),
+                                  "robust_z");
+  for (std::size_t j = 0; j < devs.size(); ++j) {
+    const DeviationTerm& t = devs[j];
+    const int p = rc.add_continuous(0.0, t.dev, 1.0,
+                                    "robust_p" + std::to_string(j));
+    // z + p_j >= d_j x_j
+    rc.add_constraint({{z, 1.0}, {p, 1.0}, {t.var, -t.dev}},
+                      lp::Sense::kGreaterEqual, 0.0,
+                      "robust_protect" + std::to_string(j));
+  }
+  return rc;
+}
+
+}  // namespace hi::milp

@@ -1,0 +1,46 @@
+// hi-opt: generic Bertsimas–Sim budgeted-uncertainty robust counterpart.
+//
+// Given a minimization MILP  min c·x  and per-variable objective
+// deviations d_j >= 0 on binary variables, the Γ-robust problem asks
+// for the x minimizing the worst case over deviation sets of size Γ:
+//
+//   min_x  c·x + max_{S ⊆ J, |S| <= Γ} Σ_{j in S} d_j x_j .
+//
+// Bertsimas & Sim (2004) dualize the inner max into a linear program,
+// yielding the exact single-level counterpart this module builds:
+//
+//   min  c·x + Γ z + Σ_j p_j
+//   s.t. z + p_j >= d_j x_j          for every deviation term j
+//        z >= 0,  p_j >= 0,          original constraints unchanged.
+//
+// Exact for binary x (the inner max is a LP over the unit box whose
+// vertices are subsets), which is the only case this API admits.  The
+// DSE encoding (dse::MilpEncoding with gamma > 0) uses the closed-form
+// specialization of the same protection; this generic form exists so
+// hi::check can differentially test both against a brute-force
+// worst-case enumerator on random instances (check/robust_oracle).
+#pragma once
+
+#include <vector>
+
+#include "milp/model.hpp"
+
+namespace hi::milp {
+
+/// One budgeted-uncertainty deviation: objective coefficient of binary
+/// variable `var` may grow by up to `dev` (>= 0).
+struct DeviationTerm {
+  int var = -1;
+  double dev = 0.0;
+};
+
+/// Builds the Γ-robust counterpart of `m` (see file comment).  `m` must
+/// be a minimization model and every deviation must reference a binary
+/// variable; `gamma` >= 0 (0 returns a plain copy — same optimum, no
+/// auxiliary variables).  Duplicate vars are allowed and act as
+/// independent deviation terms.
+[[nodiscard]] Model robust_counterpart(const Model& m,
+                                       const std::vector<DeviationTerm>& devs,
+                                       int gamma);
+
+}  // namespace hi::milp

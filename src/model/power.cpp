@@ -106,6 +106,32 @@ double measured_power_floor_mw(const NetworkConfig& cfg, double pdr_min,
   return cfg.app.baseline_mw + energy_mj / (metered_nodes * duration_s);
 }
 
+int robust_link_count(RoutingProtocol routing, int n_nodes) {
+  HI_REQUIRE(n_nodes >= 2, "need at least two nodes, got " << n_nodes);
+  return routing == RoutingProtocol::kStar ? n_nodes - 1
+                                           : n_nodes * (n_nodes - 1) / 2;
+}
+
+double robust_link_deviation_mw(const RadioConfig& radio, const AppConfig& app,
+                                int n_nodes) {
+  return kRobustLossDeviation * app.throughput_pps *
+         packet_duration_s(radio, app) * per_round_radio_mw(radio, n_nodes);
+}
+
+double robust_protection_mw(const RadioConfig& radio, const AppConfig& app,
+                            RoutingProtocol routing, int n_nodes, int gamma) {
+  if (gamma <= 0) {
+    return 0.0;
+  }
+  const int budget = std::min(gamma, robust_link_count(routing, n_nodes));
+  return budget * robust_link_deviation_mw(radio, app, n_nodes);
+}
+
+double robust_protection_mw(const NetworkConfig& cfg, int gamma) {
+  return robust_protection_mw(cfg.radio, cfg.app, cfg.routing.protocol,
+                              cfg.topology.count(), gamma);
+}
+
 double alpha_factor(const NetworkConfig& cfg, double pdr_min, double kappa) {
   const double p = node_power_mw(cfg);
   const double lb = power_lower_bound_mw(cfg, pdr_min, kappa);

@@ -98,4 +98,38 @@ inline constexpr double kLossDiscountKappa = 1.0;
                                              double duration_s,
                                              double gen_guard_s);
 
+/// Fractional per-link loss deviation of the Γ-robust uncertainty model
+/// (DESIGN.md §13): an adversarially degraded link costs its endpoints
+/// up to this fraction of one extra per-round radio transaction, Eq.
+/// (3), per generated packet — one retransmission round every 1/0.25 =
+/// 4 packets at the deviation's extreme.  The deviations of the
+/// Bertsimas–Sim budget are all scaled by this constant.
+inline constexpr double kRobustLossDeviation = 0.25;
+
+/// Number of links the uncertainty set can degrade in an N-node
+/// network: N-1 for a star (spokes), N(N-1)/2 for a mesh (all pairs).
+[[nodiscard]] int robust_link_count(RoutingProtocol routing, int n_nodes);
+
+/// Worst-case per-node power deviation of ONE degraded link (mW):
+///   δ = kRobustLossDeviation · φ · Tpkt · (TxmW + (N-1) RxmW).
+/// Identical for every link of a cell, which is what makes the
+/// budgeted-uncertainty protection below a closed form.
+[[nodiscard]] double robust_link_deviation_mw(const RadioConfig& radio,
+                                              const AppConfig& app,
+                                              int n_nodes);
+
+/// Bertsimas–Sim protection term of a (radio, app, routing, N) cell
+/// under a deviation budget of Γ links: the worst sum of Γ per-link
+/// deviations, which — all links of a cell deviating identically — is
+/// simply min(Γ, link count) · δ.  Zero (exactly, no FP residue) for
+/// Γ <= 0, and monotone non-decreasing in Γ; the Γ-robust MILP adds it
+/// to every cell cost and robust Algorithm 1 to every power floor.
+[[nodiscard]] double robust_protection_mw(const RadioConfig& radio,
+                                          const AppConfig& app,
+                                          RoutingProtocol routing, int n_nodes,
+                                          int gamma);
+
+/// Convenience overload on a full configuration.
+[[nodiscard]] double robust_protection_mw(const NetworkConfig& cfg, int gamma);
+
 }  // namespace hi::model

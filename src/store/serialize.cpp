@@ -441,6 +441,17 @@ Digest options_fingerprint(const dse::ExplorationOptions& opt,
       break;
     case dse::ExplorerKind::kExhaustive:
       break;
+    case dse::ExplorerKind::kFastIlp:
+      w.put_i32(opt.fast_ilp_patience);
+      break;
+  }
+  if (opt.robust.active()) {
+    // Inactive robustness appends nothing, so every pre-robust digest
+    // (and thus every existing store) is preserved bit for bit.
+    w.put_string("hi.robust.v1");
+    w.put_i32(opt.robust.gamma);
+    w.put_i32(opt.robust.realizations);
+    w.put_f64(opt.robust.confidence);
   }
   return sha256(w.bytes());
 }

@@ -311,4 +311,23 @@ WarmStartStats warm_start(dse::Evaluator& eval, EvalStore& store) {
   return out;
 }
 
+WarmStartStats warm_start(dse::Evaluator& eval, EvalStore& store,
+                          int realizations) {
+  HI_REQUIRE(realizations >= 1,
+             "warm_start needs >= 1 realization, got " << realizations);
+  WarmStartStats out = warm_start(eval, store);
+  for (int k = 1; k < realizations; ++k) {
+    dse::Evaluator& child = eval.realization(k);
+    const Digest fp =
+        settings_fingerprint(child.settings(), store.channel_tag());
+    out.preloaded += store.preload_into(child, fp);
+    child.set_store_sink([&store, fp](const model::NetworkConfig& cfg,
+                                      const dse::Evaluation& ev) {
+      store.put(fp, cfg, ev);
+    });
+    ++out.realizations;
+  }
+  return out;
+}
+
 }  // namespace hi::store

@@ -242,13 +242,23 @@ class EvalStore {
 
 /// Outcome of warm_start().
 struct WarmStartStats {
-  Digest settings_fp;          ///< fingerprint the evaluator was matched on
-  std::size_t preloaded = 0;   ///< evaluations copied into the cache
+  Digest settings_fp;          ///< fingerprint the ROOT evaluator matched on
+  std::size_t preloaded = 0;   ///< evaluations copied in, all realizations
+  int realizations = 1;        ///< evaluators wired (root + children)
 };
 
 /// Preloads `eval` from `store` and installs a write-through sink; see
 /// the file comment for the preserved contracts.  The store must outlive
 /// the evaluator's use of the sink (i.e. the evaluator, in practice).
 WarmStartStats warm_start(dse::Evaluator& eval, EvalStore& store);
+
+/// Multi-realization warm start: additionally wires realizations
+/// 1..realizations-1 of `eval` (see dse::Evaluator::realization), each
+/// preloaded and write-through under its OWN settings fingerprint — a
+/// realization differs from the root only by sim.channel_seed, which
+/// settings_fingerprint covers, so per-(design, seed) records land in
+/// distinct rows and robust campaigns resume with zero re-simulation.
+WarmStartStats warm_start(dse::Evaluator& eval, EvalStore& store,
+                          int realizations);
 
 }  // namespace hi::store

@@ -4,7 +4,8 @@
 // nonzero when any property failed, so ctest can gate on it (registered
 // under the `extended` label; see tests/CMakeLists.txt).
 //
-//   fuzz_dse [--seed S] [--scenarios N] [--shrink L] [--verbose]
+//   fuzz_dse [--seed S] [--scenarios N] [--shrink L]
+//            [--gamma G] [--realizations K] [--verbose]
 #include <cstdint>
 #include <cstdlib>
 #include <iostream>
@@ -24,7 +25,8 @@ bool parse_u64(const char* s, std::uint64_t& out) {
 
 int usage(const char* argv0) {
   std::cerr << "usage: " << argv0
-            << " [--seed S] [--scenarios N] [--shrink L] [--verbose]\n";
+            << " [--seed S] [--scenarios N] [--shrink L] [--gamma G]"
+               " [--realizations K] [--verbose]\n";
   return 2;
 }
 
@@ -46,6 +48,12 @@ int main(int argc, char** argv) {
     } else if (arg == "--shrink" && i + 1 < argc &&
                parse_u64(argv[++i], value)) {
       opt.shrink_level = static_cast<int>(value);
+    } else if (arg == "--gamma" && i + 1 < argc &&
+               parse_u64(argv[++i], value)) {
+      opt.gamma = static_cast<int>(value);
+    } else if (arg == "--realizations" && i + 1 < argc &&
+               parse_u64(argv[++i], value) && value > 0) {
+      opt.realizations = static_cast<int>(value);
     } else {
       return usage(argv[0]);
     }

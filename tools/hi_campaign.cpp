@@ -75,8 +75,13 @@ int usage(const char* argv0) {
       << "  --gen-seed N      generated check scenario (repeatable)\n"
       << "  --pdr-min LIST    comma-separated PDRmin grid (default "
          "0.5,0.7,0.9)\n"
-      << "  --explorer NAME   alg1 | exhaustive | annealing (default alg1)\n"
+      << "  --explorer NAME   alg1 | exhaustive | annealing | fast-ilp\n"
+      << "                    (default alg1)\n"
       << "  --budget N        explorer iteration budget (default: strategy's)\n"
+      << "  --gamma N         Bertsimas-Sim protection budget (default 0)\n"
+      << "  --realizations N  independent channel realizations per design\n"
+      << "                    (default 1; >1 reports worst-case + CI)\n"
+      << "  --confidence P    PDR confidence-interval level (default 0.95)\n"
       << "  --threads N       worker threads per cell (default 0 = serial)\n"
       << "  --tsim SEC        Tsim for JSON scenarios (default 600)\n"
       << "  --runs N          replications per design point (default 3)\n"
@@ -150,11 +155,21 @@ int main(int argc, char** argv) {
         spec.explorer = hi::dse::ExplorerKind::kExhaustive;
       } else if (name == "annealing") {
         spec.explorer = hi::dse::ExplorerKind::kAnnealing;
+      } else if (name == "fast-ilp") {
+        spec.explorer = hi::dse::ExplorerKind::kFastIlp;
       } else {
         return usage(argv[0]);
       }
     } else if (arg == "--budget" && has_value && parse_u64(argv[++i], u)) {
       spec.budget = static_cast<int>(u);
+    } else if (arg == "--gamma" && has_value && parse_u64(argv[++i], u)) {
+      spec.robust.gamma = static_cast<int>(u);
+    } else if (arg == "--realizations" && has_value && parse_u64(argv[++i], u) &&
+               u > 0) {
+      spec.robust.realizations = static_cast<int>(u);
+    } else if (arg == "--confidence" && has_value &&
+               parse_f64(argv[i + 1], spec.robust.confidence)) {
+      ++i;
     } else if (arg == "--threads" && has_value && parse_u64(argv[++i], u)) {
       spec.threads = static_cast<int>(u);
     } else if (arg == "--tsim" && has_value &&
