@@ -3,25 +3,50 @@
 // configuration per PDRmin highlighted (the figure's arrows).
 //
 // The full scatter comes from one exhaustive pass over the constrained
-// design space; the arrows come from running Algorithm 1 at each PDRmin.
-// Output: one CSV-ish row per configuration (for replotting) plus the
-// arrow table.
+// design space; the arrows come from running Algorithm 1 at each PDRmin
+// on the warmed cache (so the arrow legs pay zero extra simulations).
+//
+// Emits the canonical "hi-bench/v1" JSON on stdout (committed baseline
+// BENCH_fig3.json, run and gated by scripts/bench.sh); the human-
+// readable scatter and arrow tables go to stderr.  Settings are pinned
+// (as in bench_robust_dse): the exact-gated metrics — feasible-config
+// count, envelope, arrow optima and simulation counts — are only
+// reproducible under them.
 #include <algorithm>
+#include <cstdint>
 #include <iostream>
+#include <string>
+#include <vector>
 
 #include "bench_util.hpp"
+#include "common/assert.hpp"
 #include "common/table.hpp"
 #include "common/units.hpp"
 #include "dse/explorer.hpp"
 
+namespace {
+
+using namespace hi;
+
+dse::EvaluatorSettings pinned_settings(bool quick) {
+  dse::EvaluatorSettings s;
+  s.sim.duration_s = quick ? 2.0 : 5.0;
+  s.sim.seed = 2017;
+  s.runs = 1;
+  return s;
+}
+
+}  // namespace
+
 int main() {
   using namespace hi;
-  const dse::EvaluatorSettings settings = bench::experiment_settings();
-  bench::banner("Figure 3: reliability vs lifetime of feasible "
-                "configurations",
-                settings);
+  const bool quick = bench::quick_mode();
+  const dse::EvaluatorSettings settings = pinned_settings(quick);
+  const model::Scenario scenario{};  // the paper example
+  bench::BenchReport report("fig3", settings);
+  std::cerr << "bench_fig3_tradeoff: quick=" << quick
+            << " (hi-bench/v1 JSON on stdout)\n";
 
-  model::Scenario scenario;
   dse::Evaluator eval(settings);
 
   // ---- Full scatter (exhaustive pass; also warms the cache). -------------
@@ -29,9 +54,14 @@ int main() {
   sweep_opt.pdr_min = 0.0;
   const dse::ExplorationResult sweep =
       dse::run_exhaustive(scenario, eval, sweep_opt);
-  std::cout << "feasible configurations: " << sweep.history.size()
+  std::cerr << "feasible configurations: " << sweep.history.size()
             << " (raw design space: " << scenario.raw_design_space_size()
-            << ")\n\n";
+            << ")\n";
+  report.add(bench::BenchMetric{"feasible_configs", "count",
+                                static_cast<double>(sweep.history.size()),
+                                "exact", true, sweep.history.size(), 0.0});
+  report.add_rate("sweep_eval_rate", "evals/s", sweep.simulations,
+                  sweep.wall_time_s);
 
   std::vector<dse::CandidateRecord> records = sweep.history;
   std::sort(records.begin(), records.end(),
@@ -42,14 +72,16 @@ int main() {
   scatter.set_header({"configuration", "NLT (days)", "PDR (%)",
                       "P_sim (mW)", "P_analytic (mW)"});
   for (const auto& r : records) {
-    scatter.add_row({r.cfg.label(), fmt_double(seconds_to_days(r.sim_nlt_s), 2),
+    scatter.add_row({r.cfg.label(),
+                     fmt_double(seconds_to_days(r.sim_nlt_s), 2),
                      fmt_double(r.sim_pdr * 100.0, 2),
                      fmt_double(r.sim_power_mw, 3),
                      fmt_double(r.analytic_power_mw, 3)});
   }
-  scatter.print_csv(std::cout);
+  scatter.print_csv(std::cerr);
 
-  // Envelope summary (the figure's visual spread).
+  // Envelope summary (the figure's visual spread) — deterministic, so
+  // exact-gated: a drifting envelope means the simulator moved.
   double pdr_lo = 1.0, pdr_hi = 0.0, nlt_lo = 1e18, nlt_hi = 0.0;
   for (const auto& r : records) {
     pdr_lo = std::min(pdr_lo, r.sim_pdr);
@@ -57,24 +89,42 @@ int main() {
     nlt_lo = std::min(nlt_lo, r.sim_nlt_s);
     nlt_hi = std::max(nlt_hi, r.sim_nlt_s);
   }
-  std::cout << "\nenvelope: PDR " << fmt_percent(pdr_lo, 1) << " .. "
+  std::cerr << "envelope: PDR " << fmt_percent(pdr_lo, 1) << " .. "
             << fmt_percent(pdr_hi, 1) << ", NLT "
             << fmt_double(seconds_to_days(nlt_lo), 1) << " .. "
             << fmt_double(seconds_to_days(nlt_hi), 1) << " days"
-            << "  (paper: 0..100%, ~2 days..1 month+)\n\n";
+            << "  (paper: 0..100%, ~2 days..1 month+)\n";
+  report.add(bench::BenchMetric{"envelope_pdr_lo", "ratio", pdr_lo, "exact",
+                                !quick, 0, 0.0});
+  report.add(bench::BenchMetric{"envelope_pdr_hi", "ratio", pdr_hi, "exact",
+                                !quick, 0, 0.0});
+  report.add(bench::BenchMetric{"envelope_nlt_lo", "s", nlt_lo, "exact",
+                                !quick, 0, 0.0});
+  report.add(bench::BenchMetric{"envelope_nlt_hi", "s", nlt_hi, "exact",
+                                !quick, 0, 0.0});
 
   // ---- The arrows: optimum per PDRmin via Algorithm 1. --------------------
-  std::cout << "Optimal configuration per PDRmin (the figure's arrows):\n";
+  std::cerr << "Optimal configuration per PDRmin (the figure's arrows):\n";
   TextTable arrows;
   arrows.set_header({"PDRmin", "optimal configuration", "PDR (%)",
                      "NLT (days)", "P_sim (mW)", "sims"});
-  for (double pdr_min :
-       {0.50, 0.60, 0.70, 0.80, 0.90, 0.95, 0.99, 0.999, 0.9995}) {
+  for (const double pdr_min : {0.50, 0.70, 0.90, 0.95, 0.99}) {
     eval.reset_counters();  // count each run as if it stood alone
     dse::ExplorationOptions opt;
     opt.pdr_min = pdr_min;
     const dse::ExplorationResult res =
         dse::run_algorithm1(scenario, eval, opt);
+    const std::string suffix =
+        "_p" + std::to_string(static_cast<int>(pdr_min * 100.0));
+    report.add(bench::BenchMetric{"arrow_feasible" + suffix, "count",
+                                  res.feasible ? 1.0 : 0.0, "exact", !quick,
+                                  0, 0.0});
+    report.add(bench::BenchMetric{"arrow_power" + suffix, "mW",
+                                  res.feasible ? res.best_power_mw : 0.0,
+                                  "exact", !quick, 0, 0.0});
+    report.add(bench::BenchMetric{"arrow_sims" + suffix, "count",
+                                  static_cast<double>(res.simulations),
+                                  "exact", !quick, res.simulations, 0.0});
     if (res.feasible) {
       arrows.add_row({fmt_percent(pdr_min, 1), res.best.label(),
                       fmt_double(res.best_pdr * 100.0, 2),
@@ -86,8 +136,10 @@ int main() {
                       std::to_string(res.simulations)});
     }
   }
-  arrows.print(std::cout);
-  std::cout << "\npaper's arrow ladder: star/-10dBm (low PDRmin) -> "
+  arrows.print(std::cerr);
+  std::cerr << "paper's arrow ladder: star/-10dBm (low PDRmin) -> "
                "star/0dBm -> mesh/0dBm -> 5-node mesh (highest PDRmin)\n";
+
+  report.write(std::cout);
   return 0;
 }

@@ -18,7 +18,9 @@
 # bench_parallel_speedup (hi::exec thread sweep + determinism gate),
 # bench_campaign_fabric (claim protocol, shard merge, 2-worker fleet),
 # bench_robust_dse (multi-realization K sweep, robust Alg 1 vs
-# fast-ILP).
+# fast-ILP), bench_fig3_tradeoff (paper Fig. 3 scatter + arrows),
+# bench_optimal_vs_pdrmin (Sec. 4.2 PDRmin ladder),
+# bench_pareto_front (exhaustive vs ladder Pareto front).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -38,7 +40,9 @@ build_dir=build
 cmake -B "${build_dir}" -S . -DHI_BUILD_BENCH=ON >/dev/null
 cmake --build "${build_dir}" -j "$(nproc)" \
       --target bench_des_perf bench_milp_perf bench_parallel_speedup \
-               bench_campaign_fabric bench_robust_dse
+               bench_campaign_fabric bench_robust_dse \
+               bench_fig3_tradeoff bench_optimal_vs_pdrmin \
+               bench_pareto_front
 
 if [[ "${quick}" == 1 ]]; then
   out_dir="$(mktemp -d)"
@@ -62,13 +66,19 @@ declare -A bench_env=(
   [parallel]="${parallel_env[*]}"
   [campaign]=""
   [robust]=""
+  [fig3]=""
+  [pdrmin]=""
+  [pareto]=""
 )
 status=0
-for name in des_perf milp_perf parallel campaign robust; do
+for name in des_perf milp_perf parallel campaign robust fig3 pdrmin pareto; do
   bin="${build_dir}/bench/bench_${name}"
   [[ "${name}" == parallel ]] && bin="${build_dir}/bench/bench_parallel_speedup"
   [[ "${name}" == campaign ]] && bin="${build_dir}/bench/bench_campaign_fabric"
   [[ "${name}" == robust ]] && bin="${build_dir}/bench/bench_robust_dse"
+  [[ "${name}" == fig3 ]] && bin="${build_dir}/bench/bench_fig3_tradeoff"
+  [[ "${name}" == pdrmin ]] && bin="${build_dir}/bench/bench_optimal_vs_pdrmin"
+  [[ "${name}" == pareto ]] && bin="${build_dir}/bench/bench_pareto_front"
   new="${out_dir}/BENCH_${name}.json"
   echo "==> running bench_${name}"
   env ${bench_env[${name}]} "${bin}" > "${new}"

@@ -93,6 +93,30 @@ grep -q '"complete": true' "${fabric_dir}/fleet.json"
 grep -Eq '"recoveries": [1-9]' "${fabric_dir}/fleet.json"
 "${fabric_cli}" --audit "${fabric_dir}/merged.store" >/dev/null
 
+# Pareto frontier crash/resume smoke (DESIGN.md §14): a tiny generated
+# scenario on the ASan-built CLI.  The first run SIGKILLs itself after
+# one completed MILP round (--kill-after-rounds; the store is synced
+# after every round first), so it must die on signal 9 (exit 137).  The
+# rerun warm-starts from the same store, finishes the ladder (exit 0),
+# and its report must show the store actually serving points.
+echo "==> pareto frontier crash/resume smoke (ASan CLI)"
+pareto_cli=./build-address/tools/hi_pareto
+pareto_store="${fuzz_dir}/pareto-smoke.store"
+pareto_args=(--gen-seed 7 --tsim 2 --runs 1 --pdr-min 0.5,0.7,0.9)
+pareto_rc=0
+"${pareto_cli}" "${pareto_args[@]}" --store "${pareto_store}" \
+     --kill-after-rounds 1 >/dev/null || pareto_rc=$?
+if [[ "${pareto_rc}" != 137 ]]; then
+  echo "pareto smoke: killed run exited ${pareto_rc}, expected 137" >&2
+  exit 1
+fi
+pareto_out="${fuzz_dir}/pareto-smoke.json"
+"${pareto_cli}" "${pareto_args[@]}" --store "${pareto_store}" \
+     --out "${pareto_out}"
+grep -q '"schema": "hi-pareto/v1"' "${pareto_out}"
+grep -q '"complete": true' "${pareto_out}"
+grep -Eq '"store_hits": [1-9]' "${pareto_out}"
+
 # Perf-regression smoke: scaled-down benches gated at 40% against the
 # committed baselines (full-precision gate: scripts/bench.sh, 10%).
 echo "==> bench smoke (scripts/bench.sh --quick)"

@@ -55,6 +55,13 @@ std::vector<std::string> solver_differentials(const ScenarioSpec& spec) {
     }
   }
   {
+    Rng gen = rng.fork("tied_pool");
+    for (std::string& v :
+         check_tied_pool_completeness(random_tied_pool_milp(gen))) {
+      out.push_back("tied_pool: " + std::move(v));
+    }
+  }
+  {
     Rng gen = rng.fork("cut");
     for (std::string& v :
          check_no_good_cut_monotone(random_small_milp(gen))) {

@@ -153,6 +153,28 @@ milp::Model random_pool_milp(Rng& rng) {
   return m;
 }
 
+milp::Model random_tied_pool_milp(Rng& rng) {
+  milp::Model m;
+  const int nb = static_cast<int>(rng.uniform_int(3, 5));
+  // One shared cost for every selectable binary: with the symmetric
+  // cardinality row below, every k-subset is optimal, so the optimal set
+  // has C(nb, k) >= nb members before the free bit doubles it.
+  const double cost = 0.5 * static_cast<double>(rng.uniform_int(-2, 2));
+  for (int v = 0; v < nb; ++v) {
+    m.add_binary(cost);
+  }
+  // A zero-cost unconstrained binary mirrors the DSE encoding's MAC bit
+  // (absent from Eq. (9)): it doubles every optimum.
+  m.add_binary(0.0);
+  m.set_objective(rng.bernoulli(0.5) ? lp::Objective::kMinimize
+                                     : lp::Objective::kMaximize);
+  std::vector<lp::Term> card;
+  for (int v = 0; v < nb; ++v) card.push_back(lp::Term{v, 1.0});
+  m.add_constraint(std::move(card), lp::Sense::kEqual,
+                   static_cast<double>(rng.uniform_int(1, nb - 1)));
+  return m;
+}
+
 std::vector<std::string> check_lp_against_oracle(const lp::Problem& p) {
   std::vector<std::string> out;
   const LpOracleResult oracle = solve_lp_exact(p);
@@ -267,6 +289,21 @@ std::vector<std::string> check_pool_against_enumerator(const milp::Model& m) {
     fail(out, "pool enumerated ", got.size(),
          " optimal assignments but the oracle found ", want.size(),
          " (sets differ)");
+  }
+  return out;
+}
+
+std::vector<std::string> check_tied_pool_completeness(const milp::Model& m) {
+  std::vector<std::string> out = check_pool_against_enumerator(m);
+  if (!out.empty()) {
+    return out;
+  }
+  // The set equality above is vacuous if the tie never materialized —
+  // assert the construction actually produced alternative optima.
+  const milp::Pool pool = milp::solve_all_optimal(m);
+  if (pool.status == lp::Status::kOptimal && pool.solutions.size() < 2) {
+    fail(out, "tied-cost instance yielded ", pool.solutions.size(),
+         " optimum; the generator guarantees at least 2");
   }
   return out;
 }

@@ -50,6 +50,14 @@ namespace hi::check {
 /// hence multiple optima — are common.
 [[nodiscard]] milp::Model random_pool_milp(Rng& rng);
 
+/// A tied-cost MILP with alternative optima GUARANTEED by construction:
+/// 3..5 equal-cost binaries under a symmetric equality cardinality row
+/// (every k-subset is feasible and equally priced) plus one zero-cost
+/// free binary — the same tie pattern the DSE encoding's MAC bit
+/// produces, where the pool must enumerate both settings of a variable
+/// the objective never sees.
+[[nodiscard]] milp::Model random_tied_pool_milp(Rng& rng);
+
 // --- differential properties (exact oracles) ---------------------------
 
 /// solve_simplex(p) against the rational vertex oracle: same status,
@@ -66,6 +74,14 @@ namespace hi::check {
 /// milp::solve_all_optimal(m) against the oracle: the pool's set of
 /// binary optima must equal the enumerator's complete set exactly.
 [[nodiscard]] std::vector<std::string> check_pool_against_enumerator(
+    const milp::Model& m);
+
+/// Pool completeness under objective ties: on a tied-cost instance
+/// (random_tied_pool_milp) the pool must equal the enumerator's complete
+/// optimal set AND that set must have at least two members — a pool that
+/// silently drops tied alternatives would starve the frontier sweep of
+/// candidates without failing any single-optimum differential.
+[[nodiscard]] std::vector<std::string> check_tied_pool_completeness(
     const milp::Model& m);
 
 // --- metamorphic DSE properties ----------------------------------------

@@ -47,6 +47,7 @@ struct ExplorationResult {
   // --- robust-mode summary (meaningful when the run's ---------------
   // --- RobustnessOptions were active; defaults otherwise) -----------
   int realizations = 1;      ///< channel realizations per design point
+  int gamma = 0;             ///< Γ budget the run protected against
   double best_pdr_lo = 0.0;  ///< incumbent's PDR CI lower bound
   double best_pdr_hi = 0.0;  ///< incumbent's PDR CI upper bound
   /// Γ-protection included in best_power_mw (robust runs; 0 otherwise).

@@ -108,6 +108,7 @@ void RunScope::progress(int iteration, const ExplorationResult& res) const {
 void RunScope::finish(ExplorationResult& res) {
   res.simulations = eval_.total_simulations() - sims0_;
   res.realizations = opt_.robust.active() ? opt_.robust.realizations : 1;
+  res.gamma = opt_.robust.active() ? opt_.robust.gamma : 0;
   res.wall_time_s = steady_now_s() - t0_s_;
   registry_->histogram("dse.run_s").observe(res.wall_time_s);
   registry_->counter("dse.runs").add(1);

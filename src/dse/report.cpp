@@ -26,6 +26,24 @@ void write_history_csv(const ExplorationResult& result, std::ostream& os) {
 
 namespace {
 
+/// Appends the robustness tail of a summary (Γ, K, the incumbent's PDR
+/// confidence interval and protection charge) when the run used them.
+/// A nominal run (K = 1, Γ = 0) prints nothing, keeping legacy output
+/// byte-identical.
+void append_robustness(const ExplorationResult& result,
+                       std::ostringstream& oss) {
+  if (result.realizations <= 1 && result.gamma == 0) {
+    return;
+  }
+  oss << "; robust: Gamma=" << result.gamma << ", K=" << result.realizations;
+  if (result.feasible) {
+    oss << ", PDR CI +/-"
+        << fmt_percent((result.best_pdr_hi - result.best_pdr_lo) / 2.0)
+        << ", protection " << fmt_double(result.best_protection_mw, 3)
+        << " mW";
+  }
+}
+
 /// Appends the observability tail of a summary (cache hits, MILP work)
 /// when the run's snapshot carries the relevant counters.
 void append_metrics(const ExplorationResult& result, std::ostringstream& oss) {
@@ -48,6 +66,7 @@ std::string summarize(const ExplorationResult& result, double pdr_min) {
     oss << "infeasible at PDRmin = " << fmt_percent(pdr_min) << " after "
         << result.simulations << " simulations ("
         << result.iterations << " iterations)";
+    append_robustness(result, oss);
     append_metrics(result, oss);
     return oss.str();
   }
@@ -57,6 +76,7 @@ std::string summarize(const ExplorationResult& result, double pdr_min) {
       << " mW; found with " << result.simulations << " simulations in "
       << result.iterations << " iterations ("
       << fmt_double(result.wall_time_s, 1) << " s)";
+  append_robustness(result, oss);
   append_metrics(result, oss);
   return oss.str();
 }

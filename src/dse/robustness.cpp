@@ -68,12 +68,14 @@ RobustEvaluation aggregate_robust(
   out.worst_pdr = out.nominal.pdr;
   out.worst_power_mw = out.nominal.power_mw;
   out.worst_nlt_s = out.nominal.nlt_s;
+  out.worst_p95_s = out.nominal.detail.latency.p95_s;
   double sum = 0.0;
   for (const Evaluation* ev : per_realization) {
     HI_REQUIRE(ev != nullptr, "aggregate_robust: null realization result");
     out.worst_pdr = std::min(out.worst_pdr, ev->pdr);
     out.worst_power_mw = std::max(out.worst_power_mw, ev->power_mw);
     out.worst_nlt_s = std::min(out.worst_nlt_s, ev->nlt_s);
+    out.worst_p95_s = std::max(out.worst_p95_s, ev->detail.latency.p95_s);
     sum += ev->pdr;
   }
   out.mean_pdr = k_count == 1 ? out.nominal.pdr : sum / k_count;

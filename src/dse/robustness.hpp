@@ -58,6 +58,10 @@ struct RobustEvaluation {
   double pdr_hi = 0.0;      ///< CI upper bound, clamped to [0, 1]
   double worst_power_mw = 0.0;  ///< max over realizations
   double worst_nlt_s = 0.0;     ///< min over realizations
+  /// Max over realizations of the averaged p95 end-to-end delay — the
+  /// robust latency objective hi::pareto minimizes.  0.0 unless the
+  /// evaluator ran with SimParams::collect_latency.
+  double worst_p95_s = 0.0;
   double protection_mw = 0.0;   ///< model::robust_protection_mw of the cell
   /// worst_power_mw + protection_mw — the robust objective value.
   double robust_power_mw = 0.0;

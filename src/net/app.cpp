@@ -6,10 +6,11 @@ namespace hi::net {
 
 AppLayer::AppLayer(des::Kernel& kernel, Routing& routing,
                    const model::AppConfig& cfg, std::vector<int> peers,
-                   Rng rng)
+                   Rng rng, LatencyRecorder* latency)
     : kernel_(kernel),
       routing_(routing),
       cfg_(cfg),
+      latency_(latency),
       peers_(std::move(peers)),
       rng_(rng) {
   HI_REQUIRE(cfg_.throughput_pps > 0.0, "throughput must be positive");
@@ -19,9 +20,12 @@ AppLayer::AppLayer(des::Kernel& kernel, Routing& routing,
     HI_REQUIRE(p >= 0 && p < channel::kNumLocations, "bad peer " << p);
     HI_REQUIRE(p != routing_.location(), "node cannot peer with itself");
   }
-  routing_.deliver = [this](int origin, std::uint32_t /*seq*/) {
+  routing_.deliver = [this](int origin, std::uint32_t seq) {
     HI_ASSERT(origin >= 0 && origin < channel::kNumLocations);
     ++received_[static_cast<std::size_t>(origin)];
+    if (latency_ != nullptr) {
+      latency_->on_deliver(origin, seq, kernel_.now());
+    }
   };
   // Random round-robin start so pair sample counts stay balanced across
   // the network even for short runs.
@@ -43,7 +47,10 @@ void AppLayer::generate() {
   next_peer_ = (next_peer_ + 1) % peers_.size();
   ++sent_;
   ++sent_to_[static_cast<std::size_t>(dest)];
-  routing_.originate(cfg_.packet_bytes, dest);
+  const std::uint32_t seq = routing_.originate(cfg_.packet_bytes, dest);
+  if (latency_ != nullptr) {
+    latency_->on_generate(routing_.location(), seq, kernel_.now());
+  }
   kernel_.schedule_in(1.0 / cfg_.throughput_pps, [this] { generate(); });
 }
 

@@ -17,6 +17,7 @@
 #include "common/rng.hpp"
 #include "des/kernel.hpp"
 #include "model/config.hpp"
+#include "net/latency.hpp"
 #include "net/routing.hpp"
 
 namespace hi::net {
@@ -25,8 +26,12 @@ namespace hi::net {
 class AppLayer {
  public:
   /// `peers` are the other nodes' locations (packet destinations).
+  /// `latency` (nullable, default off) is the run-level end-to-end delay
+  /// recorder shared by all nodes — see net/latency.hpp; a null pointer
+  /// costs one branch per packet and changes nothing else.
   AppLayer(des::Kernel& kernel, Routing& routing, const model::AppConfig& cfg,
-           std::vector<int> peers, Rng rng);
+           std::vector<int> peers, Rng rng,
+           LatencyRecorder* latency = nullptr);
 
   AppLayer(const AppLayer&) = delete;
   AppLayer& operator=(const AppLayer&) = delete;
@@ -51,6 +56,7 @@ class AppLayer {
   des::Kernel& kernel_;
   Routing& routing_;
   model::AppConfig cfg_;
+  LatencyRecorder* latency_ = nullptr;
   std::vector<int> peers_;
   Rng rng_;
   double gen_end_s_ = 0.0;

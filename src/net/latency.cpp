@@ -1,0 +1,42 @@
+#include "net/latency.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hi::net {
+
+namespace {
+
+/// Nearest-rank quantile of a sorted sample: the ceil(q*n)-th order
+/// statistic (1-based), the classical exact definition — no
+/// interpolation, so the result is always an observed delay.
+double nearest_rank(const std::vector<double>& sorted, double q) {
+  const std::size_t n = sorted.size();
+  std::size_t rank = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(n)));
+  if (rank < 1) rank = 1;
+  if (rank > n) rank = n;
+  return sorted[rank - 1];
+}
+
+}  // namespace
+
+LatencySummary LatencyRecorder::summary() const {
+  LatencySummary s;
+  s.collected = true;
+  s.samples = delays_.size();
+  if (delays_.empty()) {
+    return s;
+  }
+  std::vector<double> sorted = delays_;
+  std::sort(sorted.begin(), sorted.end());
+  double sum = 0.0;
+  for (double d : sorted) sum += d;
+  s.mean_s = sum / static_cast<double>(sorted.size());
+  s.p50_s = nearest_rank(sorted, 0.50);
+  s.p95_s = nearest_rank(sorted, 0.95);
+  s.max_s = sorted.back();
+  return s;
+}
+
+}  // namespace hi::net

@@ -1,0 +1,70 @@
+// hi-opt: per-packet end-to-end delay metric.
+//
+// A run-level recorder owned by net::simulate() and shared by every
+// node's AppLayer through a nullable pointer: the origin records the
+// generation time of each packet it originates (keyed by (origin, seq),
+// which identifies the packet network-wide — see Packet::key), and the
+// destination's deliver callback records the delay when the unique copy
+// first reaches the application.  A null recorder — the default — is
+// the fast path: one pointer test per packet, no allocation, no RNG
+// draw, so latency-off runs are bit-identical to pre-latency builds
+// (the golden-fingerprint suite pins that).
+//
+// The summary is exact, not sketched: delays are sorted and quantiles
+// taken by nearest rank, so the result is a deterministic function of
+// the simulated event sequence — independent of thread count and of
+// delivery order ties.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "channel/locations.hpp"
+
+namespace hi::net {
+
+/// End-to-end delay summary of one run (origin app -> destination app).
+/// `collected` distinguishes "collection was off" from "collection was
+/// on but nothing was delivered"; all other fields are zero in both of
+/// those cases.
+struct LatencySummary {
+  bool collected = false;     ///< latency collection was enabled
+  std::uint64_t samples = 0;  ///< delivered unique packets measured
+  double mean_s = 0.0;
+  double p50_s = 0.0;  ///< nearest-rank quantiles over the sorted delays
+  double p95_s = 0.0;
+  double max_s = 0.0;
+};
+
+/// See file comment.
+class LatencyRecorder {
+ public:
+  /// Records the generation time of packet (origin, seq).  Sequence
+  /// numbers are dense per origin (Routing::originate), so storage is a
+  /// flat per-origin vector indexed by seq.
+  void on_generate(int origin, std::uint32_t seq, double t_s) {
+    std::vector<double>& gen = gen_[static_cast<std::size_t>(origin)];
+    if (seq >= gen.size()) {
+      gen.resize(seq + 1, 0.0);
+    }
+    gen[seq] = t_s;
+  }
+
+  /// Records the first delivery of packet (origin, seq) to its
+  /// destination app (routing dedup guarantees at most one call per
+  /// packet).
+  void on_deliver(int origin, std::uint32_t seq, double t_s) {
+    delays_.push_back(t_s - gen_[static_cast<std::size_t>(origin)][seq]);
+  }
+
+  /// Folds the recorded delays into a summary (sorts a copy; exact
+  /// nearest-rank quantiles).
+  [[nodiscard]] LatencySummary summary() const;
+
+ private:
+  std::array<std::vector<double>, channel::kNumLocations> gen_;
+  std::vector<double> delays_;
+};
+
+}  // namespace hi::net

@@ -17,7 +17,8 @@ namespace {
 struct NodeBundle {
   NodeBundle(des::Kernel& kernel, Medium& medium, int loc,
              const model::NetworkConfig& cfg, const SimParams& params,
-             int slot_index, int num_slots, std::vector<int> peers, Rng rng)
+             int slot_index, int num_slots, std::vector<int> peers, Rng rng,
+             LatencyRecorder* latency)
       : location(loc),
         radio(kernel, medium, loc, make_radio_params(cfg, params),
               params.trace) {
@@ -43,7 +44,8 @@ struct NodeBundle {
                                               cfg.routing.max_hops);
     }
     app = std::make_unique<AppLayer>(kernel, *routing, cfg.app,
-                                     std::move(peers), rng.fork("app"));
+                                     std::move(peers), rng.fork("app"),
+                                     latency);
   }
 
   static RadioParams make_radio_params(const model::NetworkConfig& cfg,
@@ -85,6 +87,10 @@ SimResult simulate(const model::NetworkConfig& cfg,
   des::Kernel kernel;
   Medium medium(kernel, channel, params.trace);
   Rng root(params.seed);
+  std::unique_ptr<LatencyRecorder> latency;
+  if (params.collect_latency) {
+    latency = std::make_unique<LatencyRecorder>();
+  }
 
   std::vector<std::unique_ptr<NodeBundle>> nodes;
   nodes.reserve(static_cast<std::size_t>(n));
@@ -98,7 +104,7 @@ SimResult simulate(const model::NetworkConfig& cfg,
     nodes.push_back(std::make_unique<NodeBundle>(
         kernel, medium, loc, cfg, params,
         /*slot_index=*/k, /*num_slots=*/n, std::move(peers),
-        root.fork(static_cast<std::uint64_t>(loc))));
+        root.fork(static_cast<std::uint64_t>(loc)), latency.get()));
   }
 
   const double gen_end = params.duration_s - params.gen_guard_s;
@@ -113,6 +119,9 @@ SimResult simulate(const model::NetworkConfig& cfg,
   res.duration_s = params.duration_s;
   res.medium = medium.stats();
   res.events = kernel.events_processed();
+  if (latency != nullptr) {
+    res.latency = latency->summary();
+  }
 
   RunningStats pdr_nodes;
   for (const auto& nb : nodes) {
@@ -224,6 +233,12 @@ SimResult simulate(const model::NetworkConfig& cfg,
     m.counter("net.mac.dropped_buffer").add(drop);
     m.counter("net.mac.backoffs").add(backoffs);
     m.counter("net.app.sent").add(app_sent);
+    if (params.collect_latency) {
+      // Gated so latency-off runs record exactly the pre-latency counter
+      // set (counter-invariance: the fuzz suite diffs registries).
+      m.counter("net.latency_samples").add(res.latency.samples);
+      m.histogram("net.latency_p95_s").observe(res.latency.p95_s);
+    }
   }
   return res;
 }
@@ -245,6 +260,9 @@ SimResult simulate_averaged(const model::NetworkConfig& cfg,
                                               : params.seed);
   SimResult first;
   RunningStats pdr_acc, worst_acc, mean_acc, nlt_events;
+  RunningStats lat_mean, lat_p50, lat_p95;
+  double lat_max = 0.0;
+  std::uint64_t lat_samples = 0;
   double events_total = 0.0;
   for (int r = 0; r < runs; ++r) {
     SimParams run_params = params;
@@ -260,6 +278,15 @@ SimResult simulate_averaged(const model::NetworkConfig& cfg,
     worst_acc.add(one.worst_power_mw);
     mean_acc.add(one.mean_power_mw);
     events_total += static_cast<double>(one.events);
+    if (params.collect_latency) {
+      // Mirror the PDR treatment: mean over replications of each
+      // quantile, worst case for the max, total for the sample count.
+      lat_mean.add(one.latency.mean_s);
+      lat_p50.add(one.latency.p50_s);
+      lat_p95.add(one.latency.p95_s);
+      lat_max = std::max(lat_max, one.latency.max_s);
+      lat_samples += one.latency.samples;
+    }
   }
   if (pdr_spread != nullptr) {
     *pdr_spread = pdr_acc;
@@ -275,6 +302,14 @@ SimResult simulate_averaged(const model::NetworkConfig& cfg,
                   ? cfg.battery_j / mw_to_w(avg.worst_power_mw)
                   : 0.0;
   avg.events = static_cast<std::uint64_t>(events_total);
+  if (params.collect_latency) {
+    avg.latency.collected = true;
+    avg.latency.samples = lat_samples;
+    avg.latency.mean_s = lat_mean.mean();
+    avg.latency.p50_s = lat_p50.mean();
+    avg.latency.p95_s = lat_p95.mean();
+    avg.latency.max_s = lat_max;
+  }
   return avg;
 }
 

@@ -15,6 +15,7 @@
 #include "common/stats.hpp"
 #include "model/config.hpp"
 #include "net/csma.hpp"
+#include "net/latency.hpp"
 #include "net/medium.hpp"
 #include "net/routing.hpp"
 #include "obs/metrics.hpp"
@@ -46,6 +47,12 @@ struct SimParams {
   /// sink to watch a single run.
   obs::MetricsRegistry* metrics = nullptr;
   const obs::RunTrace* trace = nullptr;
+  /// Collect per-packet end-to-end delays into SimResult::latency (see
+  /// net/latency.hpp).  Off by default: the off path adds one branch per
+  /// packet, draws no randomness, and leaves the simulated event
+  /// sequence untouched, so latency-off results are bit-identical to
+  /// builds that predate the metric (pinned by the golden suite).
+  bool collect_latency = false;
 };
 
 /// Per-node outcome of a run.
@@ -69,6 +76,9 @@ struct SimResult {
   std::vector<NodeResult> nodes;
   MediumStats medium;
   std::uint64_t events = 0;      ///< kernel events executed
+  /// End-to-end delay summary; all-zero with collected == false unless
+  /// SimParams::collect_latency was set.
+  LatencySummary latency;
 };
 
 /// Runs one simulation of `cfg` over the given instantaneous channel.

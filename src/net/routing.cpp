@@ -8,7 +8,7 @@ Routing::Routing(Mac& mac, int location) : mac_(mac), location_(location) {
   mac_.on_receive = [this](const Packet& p) { handle_receive(p); };
 }
 
-void Routing::originate(int bytes, int dest) {
+std::uint32_t Routing::originate(int bytes, int dest) {
   HI_REQUIRE(dest != location_, "node " << location_
                                         << " addressing itself");
   Packet p;
@@ -21,6 +21,7 @@ void Routing::originate(int bytes, int dest) {
   p.bytes = bytes;
   ++stats_.originated;
   mac_.enqueue(p);
+  return p.seq;
 }
 
 void Routing::deliver_if_new(const Packet& p) {

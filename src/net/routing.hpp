@@ -49,8 +49,10 @@ class Routing {
   Routing(const Routing&) = delete;
   Routing& operator=(const Routing&) = delete;
 
-  /// Originates a new application packet of `bytes` bytes for `dest`.
-  void originate(int bytes, int dest);
+  /// Originates a new application packet of `bytes` bytes for `dest` and
+  /// returns the sequence number assigned to it (dense per origin, so
+  /// (origin, seq) identifies the packet network-wide — see Packet::key).
+  std::uint32_t originate(int bytes, int dest);
 
   /// Callback to the application layer: a unique packet from `origin`
   /// with sequence `seq` arrived at this node (its destination).

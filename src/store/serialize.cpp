@@ -321,6 +321,16 @@ void write_evaluation(ByteWriter& w, const dse::Evaluation& ev) {
     w.put_u64(n.routing.duplicates);
     w.put_u64(n.routing.relayed);
   }
+  if (d.latency.collected) {
+    // Conditional tail: latency-off evaluations keep the exact byte
+    // image every pre-latency store holds, and readers detect the tail
+    // by not being at_end() after the legacy fields.
+    w.put_u64(d.latency.samples);
+    w.put_f64(d.latency.mean_s);
+    w.put_f64(d.latency.p50_s);
+    w.put_f64(d.latency.p95_s);
+    w.put_f64(d.latency.max_s);
+  }
 }
 
 bool read_evaluation(ByteReader& r, dse::Evaluation& ev) {
@@ -362,6 +372,14 @@ bool read_evaluation(ByteReader& r, dse::Evaluation& ev) {
     n.routing.relayed = r.get_u64();
     d.nodes.push_back(n);
   }
+  if (r.ok() && !r.at_end()) {
+    d.latency.collected = true;
+    d.latency.samples = r.get_u64();
+    d.latency.mean_s = r.get_f64();
+    d.latency.p50_s = r.get_f64();
+    d.latency.p95_s = r.get_f64();
+    d.latency.max_s = r.get_f64();
+  }
   return r.ok();
 }
 
@@ -381,6 +399,13 @@ Digest settings_fingerprint(const dse::EvaluatorSettings& s,
   w.put_f64(s.sim.csma.persistent_poll_s);
   w.put_i32(s.runs);
   w.put_string(channel_tag);
+  if (s.sim.collect_latency) {
+    // Latency collection does not perturb the simulation, but it does
+    // decide whether records carry the latency tail, so warmed runs must
+    // not mix the two.  Appended only when on — every pre-latency digest
+    // (and thus every existing store) is preserved bit for bit.
+    w.put_string("hi.latency.v1");
+  }
   return sha256(w.bytes());
 }
 
