@@ -9,13 +9,18 @@
 // Emits the "hi-bench/v1" JSON report on stdout; progress on stderr.
 // All rate metrics are intensive (per-second), so HI_BENCH_QUICK runs
 // remain comparable to full baselines within the wider quick tolerance.
+// The crowd metrics keep the full simulated duration even in quick mode:
+// their timed region includes the O(M^2) CrowdChannel construction, a
+// fixed cost that would dominate a shortened run and sink the rate.
 #include <cstdint>
 #include <iostream>
 #include <vector>
 
 #include "bench_util.hpp"
 #include "channel/channel.hpp"
+#include "crowd/crowd.hpp"
 #include "des/kernel.hpp"
+#include "model/crowd.hpp"
 #include "model/design_space.hpp"
 #include "net/network.hpp"
 
@@ -113,6 +118,34 @@ void simulate_class(bench::BenchReport& rep, int reps, bool mesh, bool tdma,
   rep.add_rate(name, "events/s", events, wall);
 }
 
+/// Crowd simulation throughput (DESIGN.md §15): M replicas of the
+/// paper's N=5 star/CSMA point on a dense 0.5 m grid sharing one
+/// medium.  Every cross-body pair sits well above sensitivity, so the
+/// batched inter-body fade sampling and the per-reception SINR folding
+/// are both fully on the hot path — this is the number that bounds how
+/// large a crowd sweep the explorer can afford.
+void simulate_crowd_class(bench::BenchReport& rep, int reps, int bodies,
+                          double tsim_s) {
+  const model::Scenario scenario;
+  model::CrowdScenario sc;
+  sc.cfg = scenario.make_config(
+      model::Topology::from_locations({0, 1, 3, 5, 7}), 2,
+      model::MacProtocol::kCsma, model::RoutingProtocol::kStar);
+  sc.bodies = bodies;
+  sc.spacing_m = 0.5;
+  net::SimParams sp;
+  sp.duration_s = tsim_s;
+  std::uint64_t events = 0;
+  const double wall = bench::time_best_of(reps, [&] {
+    auto channel = crowd::make_crowd_channel_for(sc, 11);
+    const crowd::CrowdResult r = crowd::simulate_crowd(sc, *channel, sp);
+    events = r.summary.events;
+  });
+  g_sink = g_sink + events;
+  rep.add_rate("sim_crowd_m" + std::to_string(bodies), "events/s", events,
+               wall);
+}
+
 void channel_sample(bench::BenchReport& rep, int reps, std::int64_t n) {
   auto ch = channel::make_default_body_channel(3);
   double acc = 0.0;
@@ -151,6 +184,8 @@ int main() {
   simulate_class(rep, reps, /*mesh=*/false, /*tdma=*/true, tsim_s);
   simulate_class(rep, reps, /*mesh=*/true, /*tdma=*/false, tsim_s);
   simulate_class(rep, reps, /*mesh=*/true, /*tdma=*/true, tsim_s);
+  simulate_crowd_class(rep, reps, /*bodies=*/2, /*tsim_s=*/60.0);
+  simulate_crowd_class(rep, reps, /*bodies=*/8, /*tsim_s=*/60.0);
   channel_sample(rep, reps, quick ? 200'000 : 1'000'000);
 
   rep.write(std::cout);

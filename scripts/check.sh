@@ -117,6 +117,38 @@ grep -q '"schema": "hi-pareto/v1"' "${pareto_out}"
 grep -q '"complete": true' "${pareto_out}"
 grep -Eq '"store_hits": [1-9]' "${pareto_out}"
 
+# Crowd sweep crash/resume smoke (DESIGN.md §15): a short M=1..3 sweep
+# on the ASan-built CLI.  The first run SIGKILLs itself after one
+# completed point (--kill-after-points; the store is synced after every
+# point first), so it must die on signal 9 (exit 137).  The --resume
+# rerun must serve the completed point from the store (one hit, two
+# fresh simulations — no re-simulation of finished work) and finish the
+# sweep; a second, fully-warm rerun must then be pure hits.
+echo "==> crowd sweep crash/resume smoke (ASan CLI)"
+crowd_cli=./build-address/tools/hi_crowd
+crowd_store="${fuzz_dir}/crowd-smoke.store"
+crowd_args=(--list 1,2,3 --tsim 2 --runs 1 --seed 5)
+crowd_rc=0
+"${crowd_cli}" "${crowd_args[@]}" --store "${crowd_store}" \
+     --kill-after-points 1 >/dev/null || crowd_rc=$?
+if [[ "${crowd_rc}" != 137 ]]; then
+  echo "crowd smoke: killed run exited ${crowd_rc}, expected 137" >&2
+  exit 1
+fi
+crowd_out="${fuzz_dir}/crowd-smoke.json"
+"${crowd_cli}" "${crowd_args[@]}" --store "${crowd_store}" --resume \
+     --out "${crowd_out}"
+grep -q '"schema": "hi-crowd/v1"' "${crowd_out}"
+grep -q '"complete": true' "${crowd_out}"
+grep -q '"store": {"store_hits": 1, "simulations": 2}' "${crowd_out}"
+"${crowd_cli}" "${crowd_args[@]}" --store "${crowd_store}" --resume \
+     --out "${crowd_out}"
+grep -q '"store": {"store_hits": 3, "simulations": 0}' "${crowd_out}"
+if grep -q '"from_store": false' "${crowd_out}"; then
+  echo "crowd smoke: warm rerun re-simulated a completed point" >&2
+  exit 1
+fi
+
 # Perf-regression smoke: scaled-down benches gated at 40% against the
 # committed baselines (full-precision gate: scripts/bench.sh, 10%).
 echo "==> bench smoke (scripts/bench.sh --quick)"

@@ -3,13 +3,19 @@
 #
 #   scripts/docs_check.sh
 #
-# Verifies two invariants that otherwise rot silently:
-#   1. Every subsystem directory `src/<name>` is documented in DESIGN.md
-#      (at minimum an inventory row or section referencing `src/<name>`).
+# Verifies four invariants that otherwise rot silently:
+#   1. Every subsystem directory `src/<name>` has a DESIGN.md §2
+#      inventory row (a table row quoting `src/<name>`), not merely a
+#      passing mention.
 #   2. Every repo-relative file path mentioned in README.md or DESIGN.md
 #      (backtick-quoted, e.g. `src/des/kernel.hpp` or `scripts/bench.sh`)
 #      resolves to a real file or directory — so the docs' cross-links
 #      never point at renamed or deleted code.
+#   3. Every report schema name the docs quote (`hi-<name>/v<N>`) is
+#      emitted somewhere in the source tree — a renamed schema must
+#      rename its documentation.
+#   4. Every committed benchmark baseline the docs reference
+#      (`BENCH_<name>.json`) exists at the repo root.
 # Paths under build*/ (generated trees) and placeholders containing
 # <...> or * are exempt.
 set -euo pipefail
@@ -17,12 +23,13 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 status=0
+doc_files=(README.md DESIGN.md EXPERIMENTS.md)
 
-# --- 1. every src subsystem has DESIGN.md coverage -----------------------
+# --- 1. every src subsystem has a DESIGN.md §2 inventory row -------------
 for dir in src/*/; do
   name="$(basename "${dir}")"
-  if ! grep -q "src/${name}" DESIGN.md; then
-    echo "docs_check: FAIL: src/${name} has no DESIGN.md coverage" >&2
+  if ! grep -qE "^\| [0-9]+ \| .src/${name}. \|" DESIGN.md; then
+    echo "docs_check: FAIL: src/${name} has no DESIGN.md §2 inventory row" >&2
     status=1
   fi
 done
@@ -57,8 +64,26 @@ for p in ${paths}; do
   fi
 done
 
+# --- 3. every schema name quoted in docs is emitted by the tree ----------
+schemas="$(grep -ohE 'hi-[a-z0-9-]+/v[0-9]+' "${doc_files[@]}" | sort -u)"
+for s in ${schemas}; do
+  if ! grep -rqF "${s}" src/ tools/ bench/; then
+    echo "docs_check: FAIL: schema ${s} quoted in docs but emitted nowhere" >&2
+    status=1
+  fi
+done
+
+# --- 4. every benchmark baseline referenced in docs is committed ---------
+benches="$(grep -ohE 'BENCH_[A-Za-z0-9_]+\.json' "${doc_files[@]}" | sort -u)"
+for b in ${benches}; do
+  if [[ ! -f "${b}" ]]; then
+    echo "docs_check: FAIL: ${b} referenced in docs but not committed" >&2
+    status=1
+  fi
+done
+
 if [[ "${status}" != 0 ]]; then
   echo "docs_check: FAILED" >&2
   exit 1
 fi
-echo "docs_check: OK (all subsystems documented, all doc paths resolve)"
+echo "docs_check: OK (inventory rows, doc paths, schemas, bench baselines)"

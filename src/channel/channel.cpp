@@ -50,6 +50,19 @@ double BodyChannel::path_loss_db(int i, int j, double t) {
   return link.base_db + link.fade.sample_db(t);
 }
 
+void BodyChannel::path_loss_batch_db(int i, const int* js, std::size_t n,
+                                     double t, double* out) {
+  for (std::size_t k = 0; k < n; ++k) {
+    const int j = js[k];
+    if (i == j) {
+      out[k] = 0.0;
+      continue;
+    }
+    LinkState& link = links_[link_index(i, j)];
+    out[k] = link.base_db + link.fade.sample_db(t);
+  }
+}
+
 double BodyChannel::mean_path_loss_db(int i, int j) const {
   return avg_.db(i, j);
 }

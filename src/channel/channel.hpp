@@ -4,6 +4,7 @@
 // Gauss-Markov fading per link).
 #pragma once
 
+#include <cstddef>
 #include <memory>
 #include <utility>
 #include <vector>
@@ -23,6 +24,20 @@ class ChannelModel {
 
   /// Instantaneous path loss PL(i,j,t) in dB.
   virtual double path_loss_db(int i, int j, double t) = 0;
+
+  /// Batched form: out[k] = PL(i, js[k], t) for k in [0, n).  The medium
+  /// samples every receiver of one transmission through this, so crowd
+  /// channels can amortize the per-call index decomposition over the
+  /// whole receiver set.  The default delegates to path_loss_db() in
+  /// array order, so overriding it is purely an optimization: any
+  /// override MUST draw the same fade samples in the same order
+  /// (determinism contract — golden fingerprints pin the draws).
+  virtual void path_loss_batch_db(int i, const int* js, std::size_t n,
+                                  double t, double* out) {
+    for (std::size_t k = 0; k < n; ++k) {
+      out[k] = path_loss_db(i, js[k], t);
+    }
+  }
 
   /// Time-average path loss PL̄(i,j) in dB.
   [[nodiscard]] virtual double mean_path_loss_db(int i, int j) const = 0;
@@ -72,6 +87,10 @@ class BodyChannel final : public ChannelModel {
   BodyChannel(PathLossMatrix avg, BodyChannelParams params, Rng rng);
 
   double path_loss_db(int i, int j, double t) override;
+  /// Devirtualized inner loop (one virtual dispatch per receiver set
+  /// instead of one per pair); sample order matches the default exactly.
+  void path_loss_batch_db(int i, const int* js, std::size_t n, double t,
+                          double* out) override;
   [[nodiscard]] double mean_path_loss_db(int i, int j) const override;
 
   /// Fade std-dev assigned to link (i,j) in dB.

@@ -23,6 +23,17 @@
 //     position, so cancel() removes the event in place in O(log n).
 //     There is no tombstone side-table and no lazy-cancellation
 //     residue: every entry in the heap is live.
+//   * Same-time chains — a radio transmission fans out to every other
+//     radio with one signal-end per receiver, all at the identical
+//     timestamp, so at crowd fan-outs (DESIGN.md §15) the heap would
+//     spend most of the run sifting entries that are mutually tied.
+//     Instead, consecutively scheduled events with equal times are
+//     chained FIFO onto the first one: only the chain head occupies a
+//     heap entry, appends are O(1), and when the head is dispatched its
+//     successor takes the head's heap position without any sifting —
+//     chain members were scheduled back-to-back, so their seq range is
+//     contiguous-in-schedule-order and no other pending event can order
+//     between two of them.
 //   * Epoch-tagged EventIds — a slot's epoch is bumped every time the
 //     slot is released, and an EventId carries the epoch it was issued
 //     under, so a stale id (event already ran, already cancelled, or
@@ -104,7 +115,7 @@ class Kernel {
         delete *std::launder(reinterpret_cast<Fn**>(s));
       };
     }
-    heap_push(e.self);
+    enqueue(e);
     return EventId{e.self, e.epoch};
   }
 
@@ -119,6 +130,16 @@ class Kernel {
   /// ran, was already cancelled, or the id is invalid/stale.
   void cancel(EventId id);
 
+  /// Pre-sizes the arena and heap for at least `min_pending` concurrently
+  /// pending events, so a run whose high water stays under the
+  /// reservation never grows a container mid-run.  This is how a
+  /// multi-network (crowd) run shares one kernel across M bodies without
+  /// per-body allocation: one reservation up front, zero slab growth on
+  /// the hot path.  Purely an allocation hint — slot hand-out order,
+  /// event ordering, and every counter except arena_chunks() are
+  /// unaffected, so reserved and unreserved runs are bit-identical.
+  void reserve(std::size_t min_pending);
+
   /// Runs events with time <= horizon, then sets now() = horizon.
   /// Handlers may schedule further events, including at the current time.
   void run_until(Time horizon);
@@ -131,7 +152,7 @@ class Kernel {
 
   /// Number of events currently pending (cancelled ones are removed
   /// immediately and never counted).
-  [[nodiscard]] std::size_t events_pending() const { return heap_.size(); }
+  [[nodiscard]] std::size_t events_pending() const { return pending_; }
 
   /// Number of events cancelled before they ran.
   [[nodiscard]] std::uint64_t events_cancelled() const { return cancelled_; }
@@ -152,13 +173,17 @@ class Kernel {
     return handler_heap_allocs_;
   }
   /// Total sift-up + sift-down steps performed by the indexed heap —
-  /// the comparison work a run's schedule pattern induces.
+  /// the comparison work a run's schedule pattern induces.  Same-time
+  /// chain appends and promotions cost no sift steps, so this counts
+  /// only genuine reordering work.
   [[nodiscard]] std::uint64_t heap_sift_steps() const { return sift_steps_; }
 
  private:
   static constexpr std::size_t kChunkEvents = 256;
   static constexpr std::int32_t kFree = -1;     ///< slot on the free list
   static constexpr std::int32_t kRunning = -2;  ///< popped, handler active
+  static constexpr std::int32_t kChained = -3;  ///< pending inside a chain
+  static constexpr std::uint32_t kNoSlot = 0xFFFFFFFFu;  ///< null chain link
 
   struct Event {
     Time t = 0.0;
@@ -166,6 +191,10 @@ class Kernel {
     std::uint32_t self = 0;   ///< arena index of this slot
     std::uint32_t epoch = 1;  ///< bumped on every release
     std::int32_t heap_pos = kFree;
+    /// Same-time chain links (kNoSlot = none).  The chain head carries
+    /// heap_pos >= 0 and prev_same == kNoSlot; members carry kChained.
+    std::uint32_t next_same = kNoSlot;
+    std::uint32_t prev_same = kNoSlot;
     void (*invoke)(void*) = nullptr;
     void (*destroy)(void*) = nullptr;
     alignas(std::max_align_t) unsigned char storage[kInlineHandlerBytes];
@@ -177,13 +206,15 @@ class Kernel {
 
   /// Earlier-time-wins, FIFO (lower seq) among equal times: the same
   /// total order the historical (time, seq) priority queue used.
-  [[nodiscard]] bool before(const Event& a, const Event& b) const {
+  [[nodiscard]] static bool before(const Event& a, const Event& b) {
     if (a.t != b.t) return a.t < b.t;
     return a.seq < b.seq;
   }
 
   Event& acquire_slot();
+  void grow_arena();  ///< adds one slab and puts its slots on the free list
   void release_slot(Event& e);  ///< destroy handler, bump epoch, recycle
+  void enqueue(Event& e);       ///< chain onto the previous event or heap_push
   void heap_push(std::uint32_t slot);
   void heap_remove(std::int32_t pos);  ///< detach heap_[pos] from the heap
   void sift_up(std::size_t pos);
@@ -194,11 +225,17 @@ class Kernel {
   std::uint64_t next_seq_ = 1;
   std::uint64_t processed_ = 0;
   std::uint64_t cancelled_ = 0;
+  std::size_t pending_ = 0;
   std::size_t heap_hwm_ = 0;
   std::uint64_t arena_chunks_ = 0;
   std::uint64_t handler_heap_allocs_ = 0;
   std::uint64_t sift_steps_ = 0;
-  std::vector<std::uint32_t> heap_;  ///< 4-ary min-heap of slot indices
+  /// Most recently scheduled event, the only legal chain-append point
+  /// (epoch-checked, so a dispatched/cancelled/recycled slot never
+  /// accretes a chain).
+  std::uint32_t last_slot_ = kNoSlot;
+  std::uint32_t last_epoch_ = 0;
+  std::vector<std::uint32_t> heap_;  ///< 4-ary min-heap of chain heads
   std::vector<std::unique_ptr<Event[]>> chunks_;
   std::vector<std::uint32_t> free_;
 };

@@ -1,0 +1,51 @@
+#include "model/crowd.hpp"
+
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace hi::model {
+
+int CrowdScenario::effective_cols() const {
+  if (cols > 0) {
+    return cols;
+  }
+  return static_cast<int>(
+      std::ceil(std::sqrt(static_cast<double>(bodies))));
+}
+
+std::vector<BodyPlacement> CrowdScenario::positions() const {
+  if (!placement.empty()) {
+    return placement;
+  }
+  const int c = effective_cols();
+  std::vector<BodyPlacement> out;
+  out.reserve(static_cast<std::size_t>(bodies));
+  for (int b = 0; b < bodies; ++b) {
+    out.push_back(BodyPlacement{spacing_m * (b % c), spacing_m * (b / c)});
+  }
+  return out;
+}
+
+void CrowdScenario::validate() const {
+  HI_REQUIRE(bodies >= 1, "crowd scenario: need at least one body");
+  HI_REQUIRE(bodies <= 64,
+             "crowd scenario: at most 64 bodies (store row limit), got "
+                 << bodies);
+  HI_REQUIRE(spacing_m > 0.0, "crowd scenario: spacing must be positive");
+  HI_REQUIRE(cols >= 0, "crowd scenario: cols must be non-negative");
+  HI_REQUIRE(placement.empty() ||
+                 placement.size() == static_cast<std::size_t>(bodies),
+             "crowd scenario: placement list has "
+                 << placement.size() << " entries for " << bodies
+                 << " bodies");
+  HI_REQUIRE(inter.d0_m > 0.0 && inter.exponent > 0.0 &&
+                 inter.min_distance_m > 0.0,
+             "crowd scenario: inter-body law parameters must be positive");
+  HI_REQUIRE(inter.sigma_db >= 0.0 && inter.tau_s > 0.0,
+             "crowd scenario: inter-body fade parameters out of range");
+  HI_REQUIRE(cfg.topology.count() >= 2,
+             "crowd scenario: per-body topology needs at least 2 nodes");
+}
+
+}  // namespace hi::model

@@ -1,0 +1,72 @@
+// hi-opt: crowd scenario — M identical human intranets sharing a medium.
+//
+// A CrowdScenario fixes one per-body design point (ν, χ) and describes
+// how M copies of it stand in a room: a 2-D grid placement (spacing ×
+// columns) or an explicit per-body position list, plus the inter-body
+// propagation parameters the crowd channel folds into every cross-body
+// link.  hi::crowd turns this into a CrowdChannel + M node stacks; the
+// JSON codec and fingerprints live in store/crowd_codec.hpp so crowd
+// sweeps are durable and resumable like every other workload.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "model/config.hpp"
+
+namespace hi::model {
+
+/// Where one body stands on the floor plane (meters).
+struct BodyPlacement {
+  double x_m = 0.0;
+  double y_m = 0.0;
+
+  friend bool operator==(const BodyPlacement&, const BodyPlacement&) = default;
+};
+
+/// Inter-body propagation knobs (mirrors channel::InterBodyParams; kept
+/// as plain doubles here so hi::model stays independent of the channel's
+/// fade machinery).
+struct InterBodyModel {
+  double pl0_db = 55.0;
+  double d0_m = 1.0;
+  double exponent = 3.0;
+  double shadow_db = 7.0;
+  double sigma_db = 6.0;
+  double tau_s = 1.0;
+  double min_distance_m = 0.2;
+
+  friend bool operator==(const InterBodyModel&, const InterBodyModel&) =
+      default;
+};
+
+/// See file comment.
+struct CrowdScenario {
+  NetworkConfig cfg;   ///< the per-body design point (all bodies identical)
+  int bodies = 1;      ///< M
+  double spacing_m = 1.0;  ///< grid pitch
+  int cols = 0;            ///< grid columns; 0 = square-ish (ceil sqrt M)
+  /// Explicit placement override; when non-empty its size must equal
+  /// `bodies` and the grid knobs are ignored.
+  std::vector<BodyPlacement> placement;
+  InterBodyModel inter;
+
+  /// Effective per-body positions: the explicit list when given, else
+  /// the row-major grid — body b at (col·spacing, row·spacing) with
+  /// col = b % columns, row = b / columns.  Grid order is already
+  /// canonical (sorted by (y, x)), which the crowd simulator relies on
+  /// for its body-relabeling invariance (DESIGN.md §15).
+  [[nodiscard]] std::vector<BodyPlacement> positions() const;
+
+  /// Grid columns actually used (cols, or ceil(sqrt(bodies)) when 0).
+  [[nodiscard]] int effective_cols() const;
+
+  /// Throws (HI_REQUIRE) on an invalid scenario: bodies < 1 or > 64
+  /// (the store's per-record row limit), non-positive spacing, or a
+  /// placement list of the wrong size.
+  void validate() const;
+
+  friend bool operator==(const CrowdScenario&, const CrowdScenario&) = default;
+};
+
+}  // namespace hi::model

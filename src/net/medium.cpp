@@ -15,9 +15,9 @@ void Medium::attach(Radio* radio) {
   HI_REQUIRE(radio != nullptr, "attach: null radio");
   HI_REQUIRE(std::none_of(radios_.begin(), radios_.end(),
                           [&](const Radio* r) {
-                            return r->location() == radio->location();
+                            return r->channel_id() == radio->channel_id();
                           }),
-             "attach: duplicate radio at location " << radio->location());
+             "attach: duplicate radio at channel id " << radio->channel_id());
   radios_.push_back(radio);
 }
 
@@ -31,19 +31,43 @@ void Medium::begin_transmission(const Radio& tx, const Packet& p,
                                    p.origin, p.seq,
                                    static_cast<double>(p.bytes), duration_s});
   }
+  // Batched fan-out: collect every other radio's channel id, sample all
+  // path losses in one channel call (same pairs, same order as the
+  // historical per-pair loop — the default batch implementation *is*
+  // that loop, so fade draws are bit-identical), then offer signals.
+  batch_ids_.clear();
+  const std::size_t fanout = radios_.size() - 1;
+  if (batch_ids_.capacity() < fanout) {
+    batch_ids_.reserve(radios_.size());
+    batch_pl_.reserve(radios_.size());
+  }
   for (Radio* rx : radios_) {
-    if (rx->location() == tx.location()) {
+    if (rx->channel_id() != tx.channel_id()) {
+      batch_ids_.push_back(rx->channel_id());
+    }
+  }
+  batch_pl_.resize(batch_ids_.size());
+  channel_.path_loss_batch_db(tx.channel_id(), batch_ids_.data(),
+                              batch_ids_.size(), now, batch_pl_.data());
+  std::size_t k = 0;
+  for (Radio* rx : radios_) {
+    if (rx->channel_id() == tx.channel_id()) {
       continue;
     }
-    const double pl =
-        channel_.path_loss_db(tx.location(), rx->location(), now);
-    const double rx_dbm = tx.params().tx_dbm - pl;
+    const double rx_dbm = tx.params().tx_dbm - batch_pl_[k++];
+    const bool foreign = rx->net_id() != tx.net_id();
     if (rx_dbm < rx->params().sensitivity_dbm) {
       ++stats_.below_sensitivity;
+      if (foreign) {
+        ++stats_.cross_below_sensitivity;
+      }
       continue;
     }
     ++stats_.deliveries_offered;
-    rx->signal_start(tx_id, rx_dbm, p);
+    if (foreign) {
+      ++stats_.cross_offered;
+    }
+    rx->signal_start(tx_id, rx_dbm, p, foreign);
     kernel_.schedule_in(duration_s, [rx, tx_id] { rx->signal_end(tx_id); });
   }
 }

@@ -22,11 +22,16 @@ namespace hi::net {
 
 class Radio;
 
-/// Medium-wide counters.
+/// Medium-wide counters.  The cross_* fields count the subset of pairs
+/// whose transmitter and receiver belong to different networks (bodies);
+/// they stay zero in single-body runs and live outside the store's
+/// legacy medium trio (serialized via the evaluation crowd tail only).
 struct MediumStats {
   std::uint64_t transmissions = 0;      ///< physical transmissions started
   std::uint64_t deliveries_offered = 0; ///< (tx, rx) pairs above sensitivity
   std::uint64_t below_sensitivity = 0;  ///< (tx, rx) pairs lost to path loss
+  std::uint64_t cross_offered = 0;      ///< cross-body pairs above sensitivity
+  std::uint64_t cross_below_sensitivity = 0;  ///< cross-body pairs lost
 };
 
 /// See file comment.  One Medium per simulation run.
@@ -41,7 +46,8 @@ class Medium {
   Medium& operator=(const Medium&) = delete;
 
   /// Registers a radio; all registered radios hear each other's
-  /// transmissions (subject to path loss).
+  /// transmissions (subject to path loss).  Radios must carry distinct
+  /// channel ids (single body: the location; crowd: body * 10 + location).
   void attach(Radio* radio);
 
   /// Starts a transmission from `tx`: distributes signal_start to every
@@ -57,6 +63,11 @@ class Medium {
   std::vector<Radio*> radios_;
   std::uint64_t next_tx_id_ = 1;
   MediumStats stats_;
+  /// Scratch for the batched per-transmission path-loss sampling
+  /// (receiver channel ids / sampled losses); sized once, reused for
+  /// every transmission — no allocation on the hot path after warmup.
+  std::vector<int> batch_ids_;
+  std::vector<double> batch_pl_;
 };
 
 }  // namespace hi::net

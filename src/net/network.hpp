@@ -66,6 +66,22 @@ struct NodeResult {
   RoutingStats routing;
 };
 
+/// Multi-body (crowd) aggregate carried on a SimResult when the result
+/// summarizes an hi::crowd run: per-body rows then live in `nodes`
+/// (location = body index) and these fields hold the crowd-global
+/// coexistence counters.  Inert (present == false, all zero) for every
+/// single-body simulation, and serialized only via the store's guarded
+/// crowd tail so legacy evaluation records keep their exact bytes.
+struct CrowdSummary {
+  bool present = false;
+  std::int32_t bodies = 0;
+  double min_body_pdr = 0.0;     ///< worst body's Eq. (7) PDR
+  std::uint64_t cross_offered = 0;
+  std::uint64_t cross_below_sensitivity = 0;
+  std::uint64_t foreign_heard = 0;
+  std::uint64_t foreign_decoded = 0;
+};
+
 /// Whole-run outcome.
 struct SimResult {
   double pdr = 0.0;              ///< Eq. (7), in [0,1]
@@ -79,6 +95,8 @@ struct SimResult {
   /// End-to-end delay summary; all-zero with collected == false unless
   /// SimParams::collect_latency was set.
   LatencySummary latency;
+  /// Crowd aggregate (hi::crowd runs only; see CrowdSummary).
+  CrowdSummary crowd;
 };
 
 /// Runs one simulation of `cfg` over the given instantaneous channel.

@@ -6,8 +6,10 @@
 namespace hi::net {
 
 Radio::Radio(des::Kernel& kernel, Medium& medium, int location,
-             const RadioParams& params, const obs::RunTrace* trace)
-    : kernel_(kernel), medium_(medium), location_(location), params_(params),
+             const RadioParams& params, const obs::RunTrace* trace,
+             int net_id, int channel_id)
+    : kernel_(kernel), medium_(medium), location_(location), net_id_(net_id),
+      channel_id_(channel_id >= 0 ? channel_id : location), params_(params),
       trace_(trace) {
   HI_REQUIRE(params_.bit_rate_bps > 0.0, "bit rate must be positive");
   HI_REQUIRE(params_.tx_mw > 0.0 && params_.rx_mw > 0.0,
@@ -23,9 +25,13 @@ void Radio::transmit(const Packet& p) {
   // Half duplex: an in-progress decode is lost.
   if (decoding_) {
     rx_energy_mj_ += (kernel_.now() - decode_start_) * params_.rx_mw;
+    const Signal* cur = find_signal(current_rx_id_);
+    HI_ASSERT(cur != nullptr);
+    if (!cur->foreign) {
+      ++stats_.rx_aborted;  // foreign decodes are not a local loss
+    }
     decoding_ = false;
     current_rx_id_ = 0;
-    ++stats_.rx_aborted;
   }
   transmitting_ = true;
   const double duration = packet_airtime_s(p.bytes);
@@ -52,16 +58,23 @@ Radio::Signal* Radio::find_signal(std::uint64_t tx_id) {
   return nullptr;
 }
 
-void Radio::signal_start(std::uint64_t tx_id, double rx_dbm, const Packet& p) {
+void Radio::signal_start(std::uint64_t tx_id, double rx_dbm, const Packet& p,
+                         bool foreign) {
   // The medium only offers signals above sensitivity.
-  audible_.push_back(Signal{tx_id, rx_dbm, p});
+  audible_.push_back(Signal{tx_id, rx_dbm, p, foreign});
+  if (foreign) {
+    ++crowd_.foreign_heard;
+  }
   if (transmitting_) {
-    ++stats_.rx_missed;  // half duplex: cannot hear while talking
+    if (!foreign) {
+      ++stats_.rx_missed;  // half duplex: cannot hear while talking
+    }
     return;
   }
   if (!decoding_) {
-    // Start decoding this signal; pre-existing interference can already
-    // doom it.
+    // Start decoding this signal (the radio cannot tell a foreign
+    // preamble apart until the packet is decoded); pre-existing
+    // interference can already doom it.
     decoding_ = true;
     current_rx_id_ = tx_id;
     current_corrupted_ = false;
@@ -76,7 +89,9 @@ void Radio::signal_start(std::uint64_t tx_id, double rx_dbm, const Packet& p) {
   }
   // Already decoding another signal: the newcomer is interference for the
   // current decode and is itself missed.
-  ++stats_.rx_missed;
+  if (!foreign) {
+    ++stats_.rx_missed;
+  }
   const Signal* cur = find_signal(current_rx_id_);
   HI_ASSERT(cur != nullptr);
   if (rx_dbm > cur->rx_dbm - params_.capture_db) {
@@ -97,6 +112,15 @@ void Radio::signal_end(std::uint64_t tx_id) {
     decoding_ = false;
     current_rx_id_ = 0;
     rx_energy_mj_ += (kernel_.now() - decode_start_) * params_.rx_mw;
+    if (sig.foreign) {
+      // Decoded a packet from another body's network: the net-id check
+      // drops it here.  The decode time was still paid (energy above)
+      // and the radio was busy for local traffic the whole time.
+      if (!current_corrupted_) {
+        ++crowd_.foreign_decoded;
+      }
+      return;
+    }
     if (current_corrupted_) {
       ++stats_.rx_corrupted;
       if (trace_ != nullptr) {

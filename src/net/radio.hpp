@@ -40,6 +40,16 @@ struct RadioStats {
   std::uint64_t rx_aborted = 0;    ///< decode cut short by own transmit
 };
 
+/// Coexistence counters, kept apart from RadioStats so single-body runs
+/// (and the store's legacy per-node byte layout) are untouched.  A
+/// foreign signal — one transmitted by another body's network — still
+/// occupies the radio, costs decode energy, and interferes with local
+/// packets through the capture model; these counters record that load.
+struct RadioCrowdStats {
+  std::uint64_t foreign_heard = 0;    ///< foreign signals above sensitivity
+  std::uint64_t foreign_decoded = 0;  ///< foreign packets decoded then dropped
+};
+
 class Medium;
 
 /// See file comment.  One Radio per node; owned by the Node, wired to the
@@ -48,8 +58,14 @@ class Radio {
  public:
   /// `trace`, when non-null, receives `rx_ok` / `rx_collision`
   /// TraceEvents per decode outcome (null = no tracing, zero cost).
+  /// `net_id` names the network (body) the radio belongs to; signals
+  /// from other net_ids are interference only, never delivered upward.
+  /// `channel_id` is the radio's identity in the ChannelModel's index
+  /// space (crowd: body * kNumLocations + location); the default -1
+  /// uses `location`, the single-body convention.
   Radio(des::Kernel& kernel, Medium& medium, int location,
-        const RadioParams& params, const obs::RunTrace* trace = nullptr);
+        const RadioParams& params, const obs::RunTrace* trace = nullptr,
+        int net_id = 0, int channel_id = -1);
 
   Radio(const Radio&) = delete;
   Radio& operator=(const Radio&) = delete;
@@ -77,14 +93,22 @@ class Radio {
   [[nodiscard]] double packet_airtime_s(int bytes) const;
 
   [[nodiscard]] int location() const { return location_; }
+  [[nodiscard]] int net_id() const { return net_id_; }
+  [[nodiscard]] int channel_id() const { return channel_id_; }
   [[nodiscard]] const RadioParams& params() const { return params_; }
   [[nodiscard]] const RadioStats& stats() const { return stats_; }
+  [[nodiscard]] const RadioCrowdStats& crowd_stats() const { return crowd_; }
   [[nodiscard]] double tx_energy_mj() const { return tx_energy_mj_; }
   [[nodiscard]] double rx_energy_mj() const { return rx_energy_mj_; }
 
   // --- Medium-facing interface -------------------------------------------
   /// A signal with receive power `rx_dbm` (already >= sensitivity) starts.
-  void signal_start(std::uint64_t tx_id, double rx_dbm, const Packet& p);
+  /// `foreign` marks signals from another network (body): they occupy
+  /// the radio and interfere exactly like local ones, but are dropped
+  /// after decode and never reach on_receive, and their busy/missed
+  /// accounting lands in crowd_stats() instead of RadioStats.
+  void signal_start(std::uint64_t tx_id, double rx_dbm, const Packet& p,
+                    bool foreign = false);
 
   /// The signal `tx_id` ends; delivers the packet if decoding succeeded.
   void signal_end(std::uint64_t tx_id);
@@ -94,6 +118,7 @@ class Radio {
     std::uint64_t tx_id;
     double rx_dbm;
     Packet packet;
+    bool foreign;
   };
 
   [[nodiscard]] Signal* find_signal(std::uint64_t tx_id);
@@ -102,6 +127,8 @@ class Radio {
   des::Kernel& kernel_;
   Medium& medium_;
   int location_;
+  int net_id_;
+  int channel_id_;
   RadioParams params_;
   const obs::RunTrace* trace_;
 
@@ -120,6 +147,7 @@ class Radio {
   double tx_energy_mj_ = 0.0;
   double rx_energy_mj_ = 0.0;
   RadioStats stats_;
+  RadioCrowdStats crowd_;
 };
 
 }  // namespace hi::net

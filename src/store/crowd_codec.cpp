@@ -1,0 +1,210 @@
+#include "store/crowd_codec.hpp"
+
+#include <utility>
+
+#include "store/json.hpp"
+
+namespace hi::store {
+
+Digest crowd_fingerprint(const model::CrowdScenario& sc) {
+  ByteWriter w;
+  w.put_string("hi.crowd.v1");
+  write_config(w, sc.cfg);
+  w.put_i32(sc.bodies);
+  // Canonical over the effective positions: grid and equivalent explicit
+  // placements hash identically, and relabeling-invariance (the crowd
+  // simulator sorts bodies canonically) means position *order* is the
+  // only thing left to pin — positions() already fixes it.
+  for (const model::BodyPlacement& p : sc.positions()) {
+    w.put_f64(p.x_m);
+    w.put_f64(p.y_m);
+  }
+  w.put_f64(sc.inter.pl0_db);
+  w.put_f64(sc.inter.d0_m);
+  w.put_f64(sc.inter.exponent);
+  w.put_f64(sc.inter.shadow_db);
+  w.put_f64(sc.inter.sigma_db);
+  w.put_f64(sc.inter.tau_s);
+  w.put_f64(sc.inter.min_distance_m);
+  return sha256(w.bytes());
+}
+
+Digest crowd_point_fingerprint(const model::CrowdScenario& sc,
+                               const net::SimParams& sim, int runs) {
+  ByteWriter w;
+  w.put_string("hi.crowd.point.v1");
+  w.put_digest(crowd_fingerprint(sc));
+  w.put_f64(sim.duration_s);
+  w.put_f64(sim.gen_guard_s);
+  w.put_u64(sim.seed);
+  w.put_u64(sim.channel_seed);
+  w.put_f64(sim.capture_db);
+  w.put_f64(sim.csma.turnaround_s);
+  w.put_f64(sim.csma.backoff_max_s);
+  w.put_f64(sim.csma.persistent_poll_s);
+  w.put_i32(runs);
+  return sha256(w.bytes());
+}
+
+// --- JSON ---------------------------------------------------------------
+
+namespace {
+
+using detail::JsonParser;
+using detail::JsonValue;
+using detail::ObjectReader;
+using detail::fmt_double;
+
+}  // namespace
+
+std::string crowd_scenario_to_json(const model::CrowdScenario& sc) {
+  const model::NetworkConfig& c = sc.cfg;
+  std::string out;
+  out += "{\n  \"format\": \"hi-crowd-scenario-v1\",\n";
+  out += "  \"config\": {\n";
+  out += "    \"topology_mask\": " + std::to_string(c.topology.mask()) + ",\n";
+  out += "    \"fc_hz\": " + fmt_double(c.radio.fc_hz);
+  out += ",\n    \"bit_rate_bps\": " + fmt_double(c.radio.bit_rate_bps);
+  out += ",\n    \"tx_dbm\": " + fmt_double(c.radio.tx_dbm);
+  out += ",\n    \"tx_mw\": " + fmt_double(c.radio.tx_mw);
+  out += ",\n    \"rx_dbm\": " + fmt_double(c.radio.rx_dbm);
+  out += ",\n    \"rx_mw\": " + fmt_double(c.radio.rx_mw);
+  out += ",\n    \"tx_level_index\": " + std::to_string(c.tx_level_index);
+  out += ",\n    \"mac\": \"";
+  out += c.mac.protocol == model::MacProtocol::kTdma ? "tdma" : "csma";
+  out += "\",\n    \"mac_buffer_packets\": " +
+         std::to_string(c.mac.buffer_packets);
+  out += ",\n    \"csma_persistent\": ";
+  out += c.mac.access_mode == model::CsmaAccessMode::kPersistent ? "true"
+                                                                 : "false";
+  out += ",\n    \"tdma_slot_s\": " + fmt_double(c.mac.slot_s);
+  out += ",\n    \"routing\": \"";
+  out += c.routing.protocol == model::RoutingProtocol::kMesh ? "mesh" : "star";
+  out += "\",\n    \"coordinator\": " + std::to_string(c.routing.coordinator);
+  out += ",\n    \"max_hops\": " + std::to_string(c.routing.max_hops);
+  out += ",\n    \"baseline_mw\": " + fmt_double(c.app.baseline_mw);
+  out += ",\n    \"packet_bytes\": " + std::to_string(c.app.packet_bytes);
+  out += ",\n    \"throughput_pps\": " + fmt_double(c.app.throughput_pps);
+  out += ",\n    \"battery_j\": " + fmt_double(c.battery_j);
+  out += "\n  },\n";
+  out += "  \"bodies\": " + std::to_string(sc.bodies) + ",\n";
+  out += "  \"spacing_m\": " + fmt_double(sc.spacing_m) + ",\n";
+  out += "  \"cols\": " + std::to_string(sc.cols) + ",\n";
+  out += "  \"placement\": [";
+  for (std::size_t i = 0; i < sc.placement.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += "{\"x_m\": " + fmt_double(sc.placement[i].x_m) +
+           ", \"y_m\": " + fmt_double(sc.placement[i].y_m) + "}";
+  }
+  out += "],\n";
+  out += "  \"inter\": {\"pl0_db\": " + fmt_double(sc.inter.pl0_db) +
+         ", \"d0_m\": " + fmt_double(sc.inter.d0_m) +
+         ", \"exponent\": " + fmt_double(sc.inter.exponent) +
+         ", \"shadow_db\": " + fmt_double(sc.inter.shadow_db) +
+         ", \"sigma_db\": " + fmt_double(sc.inter.sigma_db) +
+         ", \"tau_s\": " + fmt_double(sc.inter.tau_s) +
+         ", \"min_distance_m\": " + fmt_double(sc.inter.min_distance_m) +
+         "}\n}\n";
+  return out;
+}
+
+std::optional<model::CrowdScenario> crowd_scenario_from_json(
+    std::string_view json, std::string* error) {
+  std::optional<JsonValue> root = JsonParser(json).parse(error);
+  if (!root) return std::nullopt;
+  ObjectReader b(error);
+  if (root->kind != JsonValue::Kind::kObject) {
+    b.fail("top-level JSON value must be an object");
+    return std::nullopt;
+  }
+  b.check_keys(*root, {"format", "config", "bodies", "spacing_m", "cols",
+                       "placement", "inter"});
+  if (b.str(*root, "format") != "hi-crowd-scenario-v1" && !b.failed()) {
+    b.fail("unsupported format (want \"hi-crowd-scenario-v1\")");
+  }
+
+  model::CrowdScenario sc;
+  if (const JsonValue* cfg = b.require(*root, "config"); cfg != nullptr) {
+    b.check_keys(*cfg,
+                 {"topology_mask", "fc_hz", "bit_rate_bps", "tx_dbm", "tx_mw",
+                  "rx_dbm", "rx_mw", "tx_level_index", "mac",
+                  "mac_buffer_packets", "csma_persistent", "tdma_slot_s",
+                  "routing", "coordinator", "max_hops", "baseline_mw",
+                  "packet_bytes", "throughput_pps", "battery_j"});
+    model::NetworkConfig& c = sc.cfg;
+    const int mask = b.integer(*cfg, "topology_mask");
+    if (!b.failed() && (mask < 0 || mask > 0xFFFF)) {
+      b.fail("topology_mask out of range");
+    }
+    c.topology =
+        model::Topology::from_mask(static_cast<std::uint16_t>(mask));
+    c.radio.fc_hz = b.num(*cfg, "fc_hz");
+    c.radio.bit_rate_bps = b.num(*cfg, "bit_rate_bps");
+    c.radio.tx_dbm = b.num(*cfg, "tx_dbm");
+    c.radio.tx_mw = b.num(*cfg, "tx_mw");
+    c.radio.rx_dbm = b.num(*cfg, "rx_dbm");
+    c.radio.rx_mw = b.num(*cfg, "rx_mw");
+    c.tx_level_index = b.integer(*cfg, "tx_level_index");
+    const std::string mac = b.str(*cfg, "mac");
+    if (!b.failed() && mac != "csma" && mac != "tdma") {
+      b.fail("field 'mac' must be \"csma\" or \"tdma\"");
+    }
+    c.mac.protocol =
+        mac == "tdma" ? model::MacProtocol::kTdma : model::MacProtocol::kCsma;
+    c.mac.buffer_packets = b.integer(*cfg, "mac_buffer_packets");
+    if (const JsonValue* p = b.require(*cfg, "csma_persistent");
+        p != nullptr) {
+      if (p->kind != JsonValue::Kind::kBool) {
+        b.fail("field 'csma_persistent' must be a boolean");
+      } else {
+        c.mac.access_mode = p->boolean
+                                ? model::CsmaAccessMode::kPersistent
+                                : model::CsmaAccessMode::kNonPersistent;
+      }
+    }
+    c.mac.slot_s = b.num(*cfg, "tdma_slot_s");
+    const std::string routing = b.str(*cfg, "routing");
+    if (!b.failed() && routing != "star" && routing != "mesh") {
+      b.fail("field 'routing' must be \"star\" or \"mesh\"");
+    }
+    c.routing.protocol = routing == "mesh" ? model::RoutingProtocol::kMesh
+                                           : model::RoutingProtocol::kStar;
+    c.routing.coordinator = b.integer(*cfg, "coordinator");
+    c.routing.max_hops = b.integer(*cfg, "max_hops");
+    c.app.baseline_mw = b.num(*cfg, "baseline_mw");
+    c.app.packet_bytes = b.integer(*cfg, "packet_bytes");
+    c.app.throughput_pps = b.num(*cfg, "throughput_pps");
+    c.battery_j = b.num(*cfg, "battery_j");
+  }
+  sc.bodies = b.integer(*root, "bodies");
+  sc.spacing_m = b.num(*root, "spacing_m");
+  sc.cols = b.integer(*root, "cols");
+  if (const JsonValue* pl = b.require(*root, "placement"); pl != nullptr) {
+    if (pl->kind != JsonValue::Kind::kArray) {
+      b.fail("field 'placement' must be an array");
+    } else {
+      for (const JsonValue& p : pl->items) {
+        b.check_keys(p, {"x_m", "y_m"});
+        model::BodyPlacement bp;
+        bp.x_m = b.num(p, "x_m");
+        bp.y_m = b.num(p, "y_m");
+        sc.placement.push_back(bp);
+      }
+    }
+  }
+  if (const JsonValue* in = b.require(*root, "inter"); in != nullptr) {
+    b.check_keys(*in, {"pl0_db", "d0_m", "exponent", "shadow_db", "sigma_db",
+                       "tau_s", "min_distance_m"});
+    sc.inter.pl0_db = b.num(*in, "pl0_db");
+    sc.inter.d0_m = b.num(*in, "d0_m");
+    sc.inter.exponent = b.num(*in, "exponent");
+    sc.inter.shadow_db = b.num(*in, "shadow_db");
+    sc.inter.sigma_db = b.num(*in, "sigma_db");
+    sc.inter.tau_s = b.num(*in, "tau_s");
+    sc.inter.min_distance_m = b.num(*in, "min_distance_m");
+  }
+  if (b.failed()) return std::nullopt;
+  return sc;
+}
+
+}  // namespace hi::store

@@ -1,0 +1,51 @@
+// hi-opt: durable identity + JSON interchange for crowd scenarios.
+//
+// A crowd sweep is resumable through the same EvalStore machinery as a
+// campaign: each sweep point (one body count M) is keyed by
+// crowd_point_fingerprint() — which covers the scenario, the simulation
+// settings, and the replication count — playing the role
+// settings_fingerprint() plays for single-body evaluations, with the
+// per-body NetworkConfig as the stored design point.  Because M is part
+// of the fingerprint, the same config evaluated at different crowd
+// sizes lands in distinct store cells.
+//
+// crowd_scenario_to_json / crowd_scenario_from_json are the
+// "hi-crowd-scenario-v1" interchange form, so a sweep definition can
+// live next to its store (hi_crowd --scenario / --dump-scenario).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "model/crowd.hpp"
+#include "net/network.hpp"
+#include "store/serialize.hpp"
+
+namespace hi::store {
+
+/// Identity of the crowd scenario itself: per-body config, body count,
+/// placement (explicit or grid knobs), and the inter-body propagation
+/// model.  Canonical over the *effective* positions, so a grid scenario
+/// and the equivalent explicit placement fingerprint identically.
+[[nodiscard]] Digest crowd_fingerprint(const model::CrowdScenario& sc);
+
+/// Store key for one sweep point: scenario identity + everything the
+/// simulation outcome depends on (Tsim, guard, seed roots, capture
+/// threshold, CSMA timing, replication count).  Two sweeps with equal
+/// point fingerprints produce bit-identical per-point results.
+[[nodiscard]] Digest crowd_point_fingerprint(const model::CrowdScenario& sc,
+                                             const net::SimParams& sim,
+                                             int runs);
+
+/// Pretty-printed "hi-crowd-scenario-v1" JSON.
+[[nodiscard]] std::string crowd_scenario_to_json(
+    const model::CrowdScenario& sc);
+
+/// Parses crowd_scenario_to_json output (field order free; unknown keys
+/// rejected).  Serialize → parse is a fixed point and fingerprints
+/// survive the trip.
+[[nodiscard]] std::optional<model::CrowdScenario> crowd_scenario_from_json(
+    std::string_view json, std::string* error = nullptr);
+
+}  // namespace hi::store
